@@ -1,0 +1,54 @@
+// Ablation: the per-step selection budget factor K (QMax::Options::
+// budget_factor).
+//
+// The deamortized selection must finish within each iteration's g
+// admissions; K scales the per-step operation allowance above the ~2-3×
+// expected quickselect cost. Too small a K forces synchronous completions
+// at iteration end (late_selections > 0, a latency spike); too large a K
+// wastes per-update work. This bench sweeps K and reports both throughput
+// and the late-selection rate.
+#include "bench_common.hpp"
+
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  const auto& values = random_values();
+  for (std::size_t q : {10'000ul, 1'000'000ul}) {
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+      char name[96];
+      std::snprintf(name, sizeof name, "abl-budget/q=%zu/K=%u", q, k);
+      benchmark::RegisterBenchmark(
+          name,
+          [q, k, &values](benchmark::State& st) {
+            for (auto _ : st) {
+              QMax<> r(q, QMax<>::Options{.gamma = 0.25, .budget_factor = k});
+              common::Stopwatch t;
+              for (std::size_t i = 0; i < values.size(); ++i) {
+                r.add(static_cast<std::uint64_t>(i), values[i]);
+              }
+              st.counters["MPPS"] = common::mops(values.size(), t.seconds());
+              st.counters["late_selections"] =
+                  static_cast<double>(r.late_selections());
+              benchmark::DoNotOptimize(r);
+            }
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

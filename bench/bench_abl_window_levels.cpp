@@ -1,0 +1,93 @@
+// Ablation: slack-window architecture — Algorithm 3 (c = 1) vs Algorithm 4
+// (c = 2, 3) vs the lazy Theorem-7 variant: update throughput and query
+// latency as τ shrinks.
+//
+// Expected from Theorems 5-7: eager updates cost O(c); queries cost
+// O(q·c·τ^(−1/c)); the lazy variant restores O(1) amortized updates while
+// keeping the fast query.
+#include "bench_common.hpp"
+
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+template <typename MakeWindow>
+void run_window(benchmark::State& state, MakeWindow make,
+                const std::vector<double>& values) {
+  for (auto _ : state) {
+    auto sw = make();
+    common::Stopwatch t;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sw.add(static_cast<std::uint64_t>(i), values[i]);
+    }
+    state.counters["update_MPPS"] = common::mops(values.size(), t.seconds());
+
+    // Query latency: average over a handful of queries.
+    std::vector<qmax::Entry> out;
+    common::Stopwatch tq;
+    constexpr int kQueries = 20;
+    for (int i = 0; i < kQueries; ++i) {
+      out.clear();
+      sw.query_into(out);
+      benchmark::DoNotOptimize(out);
+    }
+    state.counters["query_us"] = tq.seconds() * 1e6 / kQueries;
+  }
+}
+
+void register_all() {
+  const auto& values = random_values();
+  const std::size_t q = 1'000;
+  const std::uint64_t w = values.size() / 4;
+
+  for (double tau : {0.01, 0.001}) {
+    for (std::size_t c : {1ul, 2ul, 3ul}) {
+      char name[112];
+      std::snprintf(name, sizeof name, "abl-window/eager/tau=%.3f/c=%zu", tau,
+                    c);
+      benchmark::RegisterBenchmark(
+          name,
+          [=, &values](benchmark::State& st) {
+            run_window(st,
+                       [=] {
+                         return SlackQMax<QMax<>>(
+                             w, tau, [=] { return QMax<>(q, 0.25); },
+                             {.levels = c});
+                       },
+                       values);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+
+      std::snprintf(name, sizeof name, "abl-window/lazy/tau=%.3f/c=%zu", tau,
+                    c);
+      benchmark::RegisterBenchmark(
+          name,
+          [=, &values](benchmark::State& st) {
+            run_window(st,
+                       [=] {
+                         return SlackQMax<QMax<>>(
+                             w, tau, [=] { return QMax<>(q, 0.25); },
+                             {.levels = c, .lazy = true});
+                       },
+                       values);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

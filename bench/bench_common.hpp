@@ -1,0 +1,109 @@
+// Shared benchmark-harness utilities.
+//
+// Every figure benchmark registers google-benchmark cases named
+// "figN/<alg>/<params>" and reports an "items_per_second"-style MPPS rate
+// counter; every table benchmark is a plain main() that prints the paper's
+// table. All binaries honour (see common/env.hpp):
+//   QMAX_BENCH_SCALE — stream-length multiplier (default 1.0)
+//   QMAX_BENCH_LARGE — "1" enables the q = 10^7 points
+//   QMAX_BENCH_REPS  — repetitions for the custom-main tables
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace qmax::bench {
+
+/// The paper's random-number workload (150M items there; laptop-scaled
+/// here). Generated once per process and shared across cases.
+inline const std::vector<double>& random_values(std::uint64_t base = 0,
+                                                std::uint64_t seed = 1) {
+  static const std::vector<double> values = [base, seed] {
+    // Default sizing keeps the stream ≫ every swept q (the paper's regime:
+    // its 150M-item stream is 15-15000× its reservoir sizes).
+    std::uint64_t n = base != 0 ? base
+                      : common::bench_large() ? 40'000'000
+                                              : 4'000'000;
+    n = common::scaled(n);
+    std::vector<double> v(n);
+    common::Xoshiro256 rng(seed);
+    for (auto& x : v) x = rng.uniform();
+    return v;
+  }();
+  return values;
+}
+
+/// CAIDA-like packet workload, shared per process.
+inline const std::vector<trace::PacketRecord>& caida_packets(
+    std::uint64_t base = 2'000'000) {
+  static const std::vector<trace::PacketRecord> packets = [base] {
+    trace::CaidaLikeGenerator gen;
+    return trace::take_packets(gen, common::scaled(base));
+  }();
+  return packets;
+}
+
+/// Feed every (index, value) pair into a freshly reported reservoir; the
+/// caller provides `make()` so construction cost stays outside the timer.
+template <typename Make>
+double measure_stream_mpps(Make&& make, const std::vector<double>& values) {
+  auto r = make();
+  common::Stopwatch sw;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    r.add(static_cast<std::uint64_t>(i), values[i]);
+  }
+  const double secs = sw.seconds();
+  benchmark::DoNotOptimize(r);
+  return common::mops(values.size(), secs);
+}
+
+/// q values for the sweeps. The paper sweeps 10^4..10^7; the default here
+/// stops at 10^5 so the (scaled) stream stays much longer than q —
+/// QMAX_BENCH_LARGE=1 restores the 10^6/10^7 points with a 40M stream.
+inline std::vector<std::size_t> sweep_qs() {
+  std::vector<std::size_t> qs{10'000, 100'000};
+  if (common::bench_large()) {
+    qs.push_back(1'000'000);
+    qs.push_back(10'000'000);
+  }
+  return qs;
+}
+
+/// The γ grid of Figure 4 / Table 1.
+inline const std::vector<double>& sweep_gammas() {
+  static const std::vector<double> g{0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0};
+  return g;
+}
+
+/// Register a google-benchmark case that runs `fn()` (returning MPPS) once
+/// per iteration and exports the result as the "MPPS" counter.
+template <typename Fn>
+void register_mpps(const std::string& name, Fn fn) {
+  benchmark::RegisterBenchmark(name.c_str(), [fn](benchmark::State& state) {
+    double mpps = 0.0;
+    for (auto _ : state) {
+      mpps = fn();
+    }
+    state.counters["MPPS"] = mpps;
+  })->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+/// Pretty row printer for the custom-main tables.
+inline void print_table_header(const char* title) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("(scale=%.2f, reps=%d%s)\n", common::bench_scale(),
+              common::bench_reps(),
+              common::bench_large() ? ", large points on" : "");
+}
+
+}  // namespace qmax::bench

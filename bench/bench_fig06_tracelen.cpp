@@ -1,0 +1,71 @@
+// Figure 6: CPU throughput of q-MAX (γ = 0.1), Heap and SkipList as a
+// function of the position in the trace, for varying q.
+//
+// Paper shape: every algorithm accelerates along the trace (a random new
+// item beats the current q-th largest with probability ~q/i, so the
+// admission filter rejects nearly everything late in the stream), and
+// q-MAX stays the fastest throughout.
+#include "bench_common.hpp"
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+constexpr int kCheckpoints = 8;
+
+/// Runs the full stream once, reporting per-segment MPPS at checkpoint
+/// boundaries as separate counters.
+template <typename Make>
+void run_segmented(benchmark::State& state, Make make,
+                   const std::vector<double>& values) {
+  for (auto _ : state) {
+    auto r = make();
+    const std::size_t seg = values.size() / kCheckpoints;
+    std::size_t i = 0;
+    for (int c = 0; c < kCheckpoints; ++c) {
+      const std::size_t end = (c + 1 == kCheckpoints) ? values.size()
+                                                      : i + seg;
+      common::Stopwatch sw;
+      for (; i < end; ++i) r.add(static_cast<std::uint64_t>(i), values[i]);
+      const double mpps = common::mops(seg, sw.seconds());
+      char key[32];
+      std::snprintf(key, sizeof key, "MPPS@%d/%d", c + 1, kCheckpoints);
+      state.counters[key] = mpps;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void register_all() {
+  const auto& values = random_values();
+  for (std::size_t q : sweep_qs()) {
+    char qn[96], hn[96], sn[96];
+    std::snprintf(qn, sizeof qn, "fig6/qmax(g=0.1)/q=%zu", q);
+    benchmark::RegisterBenchmark(qn, [q, &values](benchmark::State& st) {
+      run_segmented(st, [&] { return QMax<>(q, 0.1); }, values);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+    std::snprintf(hn, sizeof hn, "fig6/heap/q=%zu", q);
+    benchmark::RegisterBenchmark(hn, [q, &values](benchmark::State& st) {
+      run_segmented(st, [&] { return baselines::HeapQMax<>(q); }, values);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+    std::snprintf(sn, sizeof sn, "fig6/skiplist/q=%zu", q);
+    benchmark::RegisterBenchmark(sn, [q, &values](benchmark::State& st) {
+      run_segmented(st, [&] { return baselines::SkipListQMax<>(q); }, values);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7: CPU throughput of Exponential-Decay q-MAX (c = 0.75) as a
+// function of γ on a random stream.
+//
+// Paper shape: throughput improves with γ as in plain q-MAX, but the
+// break-even point sits at a larger γ — counter aging eats part of the
+// gain from cheaper reservoir maintenance.
+#include "bench_common.hpp"
+
+#include "qmax/exp_decay.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  // Exponential decay values must be positive: shift the shared workload.
+  static const std::vector<double>& base = random_values();
+  static const std::vector<double> values = [] {
+    std::vector<double> v = base;
+    for (auto& x : v) x += 0.001;
+    return v;
+  }();
+
+  for (std::size_t q : sweep_qs()) {
+    for (double gamma : sweep_gammas()) {
+      char name[96];
+      std::snprintf(name, sizeof name, "fig7/ed-qmax(c=0.75)/q=%zu/g=%.3f", q,
+                    gamma);
+      register_mpps(name, [q, gamma] {
+        return measure_stream_mpps(
+            [&] { return ExpDecayQMax<>(q, 0.75, gamma); }, values);
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

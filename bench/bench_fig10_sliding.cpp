@@ -1,0 +1,69 @@
+// Figure 10: CPU throughput of interval q-MAX vs sliding-window q-MAX
+// (γ = 0.1, τ = 1) along the trace, for varying q.
+//
+// Paper shape: interval q-MAX accelerates along the trace (its admission
+// bound Ψ only rises), while the sliding version holds a flat throughput —
+// its blocks reset, so Ψ cannot ratchet up forever.
+#include "bench_common.hpp"
+
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+constexpr int kCheckpoints = 8;
+
+template <typename Add>
+void run_segmented(benchmark::State& state, Add&& add,
+                   const std::vector<double>& values) {
+  for (auto _ : state) {
+    const std::size_t seg = values.size() / kCheckpoints;
+    std::size_t i = 0;
+    for (int c = 0; c < kCheckpoints; ++c) {
+      const std::size_t end =
+          (c + 1 == kCheckpoints) ? values.size() : i + seg;
+      common::Stopwatch sw;
+      for (; i < end; ++i) add(static_cast<std::uint64_t>(i), values[i]);
+      char key[32];
+      std::snprintf(key, sizeof key, "MPPS@%d/%d", c + 1, kCheckpoints);
+      state.counters[key] = common::mops(seg, sw.seconds());
+    }
+  }
+}
+
+void register_all() {
+  const auto& values = random_values();
+  for (std::size_t q : sweep_qs()) {
+    char iname[96], sname[96];
+    std::snprintf(iname, sizeof iname, "fig10/interval(g=0.1)/q=%zu", q);
+    benchmark::RegisterBenchmark(iname, [q, &values](benchmark::State& st) {
+      QMax<> r(q, 0.1);
+      run_segmented(st, [&](std::uint64_t id, double v) { r.add(id, v); },
+                    values);
+      benchmark::DoNotOptimize(r);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+
+    std::snprintf(sname, sizeof sname, "fig10/sliding(g=0.1,tau=1)/q=%zu", q);
+    benchmark::RegisterBenchmark(sname, [q, &values](benchmark::State& st) {
+      // W = 1/4 of the stream so several window turnovers happen.
+      const std::uint64_t w = std::max<std::uint64_t>(values.size() / 4, 4 * q);
+      SlackQMax<QMax<>> r(w, 1.0, [q] { return QMax<>(q, 0.1); });
+      run_segmented(st, [&](std::uint64_t id, double v) { r.add(id, v); },
+                    values);
+      benchmark::DoNotOptimize(r);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

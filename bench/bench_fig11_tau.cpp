@@ -1,0 +1,53 @@
+// Figure 11: sliding-window q-MAX throughput as a function of the slack
+// parameter τ, for various window sizes W and γ values (q = 10^6 in the
+// paper; scaled here).
+//
+// Paper shape: (i) larger γ → higher throughput; (ii) larger τ → higher
+// throughput (fewer, bigger blocks, less reset churn); (iii) larger W →
+// higher throughput (each block's Ψ filter has longer to harden, so fewer
+// items are admitted per block).
+#include "bench_common.hpp"
+
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  const auto& values = random_values();
+  const std::size_t q = common::bench_large() ? 1'000'000 : 100'000;
+  const std::uint64_t w_small = 8 * q;
+  const std::uint64_t w_big = 16 * q;
+
+  for (std::uint64_t w : {w_small, w_big}) {
+    for (double gamma : {0.1, 0.25}) {
+      for (double tau : {0.125, 0.25, 0.5, 1.0}) {
+        char name[128];
+        std::snprintf(name, sizeof name,
+                      "fig11/sliding/W=%llu/g=%.2f/tau=%.3f",
+                      static_cast<unsigned long long>(w), gamma, tau);
+        register_mpps(name, [q, w, gamma, tau, &values] {
+          return measure_stream_mpps(
+              [&] {
+                return SlackQMax<QMax<>>(w, tau,
+                                         [=] { return QMax<>(q, gamma); });
+              },
+              values);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: OVS throughput (10G link, minimal 64B packets) with q-MAX,
+// Heap and SkipList monitoring attached, vs vanilla OVS, across q.
+//
+// Paper shape: at q = 10^4 Heap and q-MAX keep up with vanilla while
+// SkipList already drags; as q grows the Heap falls off while q-MAX keeps
+// up with the switch until q = 10^7.
+#include "bench_vswitch_common.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  const auto& pkts = min_size_packets();
+  const double line = line_rate_10g();
+
+  register_mpps("fig12/vanilla-ovs",
+                [&pkts, line] { return run_switch_vanilla(pkts, line); });
+
+  for (std::size_t q : switch_qs()) {
+    char name[96];
+    std::snprintf(name, sizeof name, "fig12/qmax(g=0.25)/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<QMax<std::uint32_t, double>> mon{
+          QMax<std::uint32_t, double>(q, 0.25)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+    std::snprintf(name, sizeof name, "fig12/heap/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<baselines::HeapQMax<std::uint32_t, double>> mon{
+          baselines::HeapQMax<std::uint32_t, double>(q)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+    std::snprintf(name, sizeof name, "fig12/skiplist/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<baselines::SkipListQMax<std::uint32_t, double>> mon{
+          baselines::SkipListQMax<std::uint32_t, double>(q)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 13: OVS throughput (10G, minimal packets) for q-MAX monitoring as
+// a function of γ, for large q.
+//
+// Paper shape: q-MAX keeps up with vanilla OVS even at small γ; only the
+// extreme q with tiny γ shows measurable degradation.
+#include "bench_vswitch_common.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  const auto& pkts = min_size_packets();
+  const double line = line_rate_10g();
+
+  register_mpps("fig13/vanilla-ovs",
+                [&pkts, line] { return run_switch_vanilla(pkts, line); });
+
+  std::vector<std::size_t> qs{100'000};
+  if (common::bench_large()) {
+    qs.push_back(1'000'000);
+    qs.push_back(10'000'000);
+  }
+  for (std::size_t q : qs) {
+    for (double gamma : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+      char name[96];
+      std::snprintf(name, sizeof name, "fig13/qmax/q=%zu/g=%.2f", q, gamma);
+      register_mpps(name, [&pkts, line, q, gamma] {
+        ReservoirMonitor<QMax<std::uint32_t, double>> mon{
+            QMax<std::uint32_t, double>(q, gamma)};
+        return run_switch_monitored(pkts, line, std::ref(mon));
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

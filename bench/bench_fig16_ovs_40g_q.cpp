@@ -1,0 +1,53 @@
+// Figure 16: 40G OVS throughput for q-MAX, Heap and SkipList as a
+// function of q, real-sized packets.
+//
+// Paper shape: everyone meets line rate for q ≤ 10^5; at q = 10^6 Heap
+// loses ~15% and SkipList ~41% while q-MAX loses ~3%; at q = 10^7 Heap
+// and SkipList collapse (below 10G-equivalent) while q-MAX (γ = 1)
+// reaches ~90% of vanilla.
+#include "bench_vswitch_common.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+void register_all() {
+  const auto& pkts = real_size_packets();
+  const double line = line_rate_40g();
+
+  register_mpps("fig16/vanilla-ovs",
+                [&pkts, line] { return run_switch_vanilla(pkts, line); });
+
+  for (std::size_t q : switch_qs()) {
+    char name[96];
+    std::snprintf(name, sizeof name, "fig16/qmax(g=1.0)/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<QMax<std::uint32_t, double>> mon{
+          QMax<std::uint32_t, double>(q, 1.0)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+    std::snprintf(name, sizeof name, "fig16/heap/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<baselines::HeapQMax<std::uint32_t, double>> mon{
+          baselines::HeapQMax<std::uint32_t, double>(q)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+    std::snprintf(name, sizeof name, "fig16/skiplist/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      ReservoirMonitor<baselines::SkipListQMax<std::uint32_t, double>> mon{
+          baselines::SkipListQMax<std::uint32_t, double>(q)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

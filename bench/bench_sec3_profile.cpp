@@ -1,0 +1,135 @@
+// Section 3 ("Quantifying the potential speedup"): fraction of application
+// time spent inside the reservoir update, for Priority Sampling, NWHH and
+// PBA over Heap and SkipList.
+//
+// Paper reference (q = 10^4): PS 50-58%, NWHH 22-28%, PBA 18-19%; up to
+// 96% of the time at q = 10^7. This table is the motivation for the whole
+// paper: the data structure *is* the bottleneck.
+//
+// Method: run each application twice — once complete, once with the
+// reservoir call compiled out (the surrounding hashing/arithmetic kept) —
+// and report 1 − t_without/t_with.
+#include "bench_common.hpp"
+
+#include "apps/nwhh.hpp"
+#include "apps/pba.hpp"
+#include "apps/priority_sampling.hpp"
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+using apps::Nmp;
+using apps::PacketSample;
+using apps::Pba;
+using apps::PrioritySampler;
+using apps::WeightedKey;
+
+template <typename WithFn, typename WithoutFn>
+double ds_fraction(WithFn&& with, WithoutFn&& without) {
+  std::vector<double> with_s, without_s;
+  for (int r = 0; r < common::bench_reps(); ++r) {
+    common::Stopwatch sw;
+    with();
+    with_s.push_back(sw.seconds());
+    sw.reset();
+    without();
+    without_s.push_back(sw.seconds());
+  }
+  const double tw = common::summarize(with_s).mean;
+  const double to = common::summarize(without_s).mean;
+  return tw > 0 ? std::max(0.0, 1.0 - to / tw) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  print_table_header(
+      "Section 3: fraction of app time spent in the reservoir update");
+  const auto& pkts = caida_packets();
+  std::vector<std::size_t> qs{10'000, 100'000};
+  if (common::bench_large()) qs.push_back(1'000'000);
+
+  std::printf("%8s %22s %10s %10s\n", "q", "application", "heap", "skiplist");
+  for (std::size_t q : qs) {
+    using PsHeap = baselines::HeapQMax<WeightedKey, double>;
+    using PsSkip = baselines::SkipListQMax<WeightedKey, double>;
+    using NwHeap = baselines::HeapQMax<PacketSample, double>;
+    using NwSkip = baselines::SkipListQMax<PacketSample, double>;
+
+    auto ps_without = [&] {
+      volatile double sink = 0;
+      for (const auto& p : pkts) {
+        const double u = common::to_unit_interval_open0(
+            common::hash64(p.packet_id, 0));
+        sink = sink + double(p.length) / u;
+      }
+    };
+    const double ps_heap = ds_fraction(
+        [&] {
+          PrioritySampler<PsHeap> ps(q, PsHeap(q + 1));
+          for (const auto& p : pkts) ps.add(p.packet_id, double(p.length));
+        },
+        ps_without);
+    const double ps_skip = ds_fraction(
+        [&] {
+          PrioritySampler<PsSkip> ps(q, PsSkip(q + 1));
+          for (const auto& p : pkts) ps.add(p.packet_id, double(p.length));
+        },
+        ps_without);
+    std::printf("%8zu %22s %9.1f%% %9.1f%%\n", q, "priority-sampling",
+                ps_heap * 100, ps_skip * 100);
+
+    auto nwhh_without = [&] {
+      volatile double sink = 0;
+      for (const auto& p : pkts) {
+        sink = sink + common::to_unit_interval_open0(
+                          common::hash64(p.packet_id, 0));
+      }
+    };
+    const double nw_heap = ds_fraction(
+        [&] {
+          Nmp<NwHeap> nmp(q, NwHeap(q));
+          for (const auto& p : pkts) nmp.observe(p.packet_id, p.src_key());
+        },
+        nwhh_without);
+    const double nw_skip = ds_fraction(
+        [&] {
+          Nmp<NwSkip> nmp(q, NwSkip(q));
+          for (const auto& p : pkts) nmp.observe(p.packet_id, p.src_key());
+        },
+        nwhh_without);
+    std::printf("%8zu %22s %9.1f%% %9.1f%%\n", q, "network-wide-hh",
+                nw_heap * 100, nw_skip * 100);
+
+    auto pba_without = [&] {
+      std::unordered_map<std::uint64_t, double> agg;
+      volatile double sink = 0;
+      for (const auto& p : pkts) {
+        auto [it, fresh] = agg.try_emplace(p.src_key(), 0.0);
+        it->second += double(p.length);
+        const double u = common::to_unit_interval_open0(
+            common::hash64(p.src_key(), 0));
+        sink = sink + it->second / u;
+        if (agg.size() > q + 1) agg.erase(agg.begin());
+      }
+    };
+    const double pba_heap = ds_fraction(
+        [&] {
+          Pba<PsHeap> pba(q, PsHeap(q + 1));
+          for (const auto& p : pkts) pba.add(p.src_key(), double(p.length));
+        },
+        pba_without);
+    const double pba_skip = ds_fraction(
+        [&] {
+          Pba<PsSkip> pba(q, PsSkip(q + 1));
+          for (const auto& p : pkts) pba.add(p.src_key(), double(p.length));
+        },
+        pba_without);
+    std::printf("%8zu %22s %9.1f%% %9.1f%%\n", q, "pba", pba_heap * 100,
+                pba_skip * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 1: minimal and maximal speedups of q-MAX over Heap and SkipList
+// for each γ, across the q sweep on a random stream.
+//
+// Paper reference values (150M-item stream, their hardware):
+//   γ:                 2.5%   5%    10%    25%    50%   100%   200%
+//   min vs Heap       ×0.73 ×1.66  ×1.77  ×1.88  ×1.89  ×1.89  ×1.89
+//   max vs Heap       ×1.34 ×3.16  ×7.11 ×12.88 ×17.16 ×21.22 ×23.39
+//   min vs SkipList   ×1.28 ×2.22  ×2.37  ×2.51  ×2.53  ×2.53  ×2.54
+//   max vs SkipList   ×4.01 ×11.71 ×26.28 ×47.63 ×63.45 ×78.46 ×86.48
+// The *shape* to check: speedups grow with γ and saturate; γ = 2.5% is
+// near break-even vs Heap; SkipList is beaten by more than Heap.
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+template <typename Make>
+double mean_mpps(Make&& make, const std::vector<double>& values) {
+  std::vector<double> runs;
+  for (int r = 0; r < common::bench_reps(); ++r) {
+    runs.push_back(measure_stream_mpps(make, values));
+  }
+  return common::summarize(runs).mean;
+}
+
+}  // namespace
+
+int main() {
+  const auto& values = random_values();
+  print_table_header(
+      "Table 1: min/max speedup of q-MAX vs Heap and SkipList per gamma");
+
+  const auto qs = sweep_qs();
+  std::map<std::size_t, double> heap_mpps, skip_mpps;
+  for (std::size_t q : qs) {
+    heap_mpps[q] =
+        mean_mpps([&] { return baselines::HeapQMax<>(q); }, values);
+    skip_mpps[q] =
+        mean_mpps([&] { return baselines::SkipListQMax<>(q); }, values);
+  }
+
+  std::printf("%8s %14s %14s %14s %14s\n", "gamma", "minVsHeap", "maxVsHeap",
+              "minVsSkip", "maxVsSkip");
+  for (double gamma : sweep_gammas()) {
+    double min_h = 1e300, max_h = 0, min_s = 1e300, max_s = 0;
+    for (std::size_t q : qs) {
+      const double m = mean_mpps([&] { return QMax<>(q, gamma); }, values);
+      const double vs_h = m / heap_mpps[q];
+      const double vs_s = m / skip_mpps[q];
+      min_h = std::min(min_h, vs_h);
+      max_h = std::max(max_h, vs_h);
+      min_s = std::min(min_s, vs_s);
+      max_s = std::max(max_s, vs_s);
+    }
+    std::printf("%7.1f%% %13.2fx %13.2fx %13.2fx %13.2fx\n", gamma * 100,
+                min_h, max_h, min_s, max_s);
+  }
+  return 0;
+}

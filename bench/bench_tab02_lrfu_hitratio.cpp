@@ -1,0 +1,46 @@
+// Table 2: hit ratio of q-MAX-based LRFU vs the exact LRFU caches of size
+// q and q(1+γ), on the P1-ARC-like trace (q = 10^4, c = 0.75).
+//
+// Paper reference (their P1.lis trace):
+//   γ = 10%:  q-LRFU 51.6%,  q-MAX LRFU 53.1%,  q(1+γ)-LRFU 54.6%
+//   γ = 50%:              … 58.9%,             … 64.4%
+//   γ = 100%:             … 65.4%,             … 73.3%
+// Shape to check: hit(q) ≤ hit(q-MAX) ≤ hit(q(1+γ)), gaps widening with γ.
+#include "bench_common.hpp"
+
+#include "cache/lrfu_exact.hpp"
+#include "cache/lrfu_qmax.hpp"
+
+int main() {
+  using namespace qmax;
+  using namespace qmax::bench;
+
+  print_table_header(
+      "Table 2: LRFU hit ratios, q = 10^4, c = 0.75, P1-ARC-like trace");
+
+  const std::size_t q = 10'000;
+  const double c = 0.75;
+  const std::uint64_t n = common::scaled(2'000'000);
+
+  // The baseline q-sized LRFU is γ-independent: run it once.
+  trace::CacheTraceGenerator gen0;
+  cache::LrfuCache<> small(q, c);
+  for (std::uint64_t i = 0; i < n; ++i) small.access(gen0.next());
+  std::printf("%8s %24s %10s\n", "gamma", "algorithm", "hit-ratio");
+  std::printf("%8s %24s %9.1f%%\n", "-", "q-sized LRFU",
+              small.hit_ratio() * 100);
+
+  for (double gamma : {0.10, 0.50, 1.00}) {
+    trace::CacheTraceGenerator gen1, gen2;
+    cache::LrfuQMaxCache<> mid(q, c, gamma);
+    cache::LrfuCache<> large(
+        static_cast<std::size_t>(double(q) * (1 + gamma)), c);
+    for (std::uint64_t i = 0; i < n; ++i) mid.access(gen1.next());
+    for (std::uint64_t i = 0; i < n; ++i) large.access(gen2.next());
+    std::printf("%7.0f%% %24s %9.1f%%\n", gamma * 100, "q-MAX based LRFU",
+                mid.hit_ratio() * 100);
+    std::printf("%7.0f%% %24s %9.1f%%\n", gamma * 100, "q(1+gamma)-sized LRFU",
+                large.hit_ratio() * 100);
+  }
+  return 0;
+}

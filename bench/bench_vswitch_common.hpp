@@ -1,0 +1,89 @@
+// Shared harness for the virtual-switch (OVS-integration) benchmarks,
+// Figures 12-17. The switch forwards a pre-generated packet vector with a
+// measurement algorithm attached behind the shared-memory ring; reported
+// throughput is min(datapath rate, line rate).
+//
+// Reproduction note (DESIGN.md §3): the paper runs OVS/DPDK with the
+// monitor on its own core; this harness time-shares one core between the
+// PMD loop and the monitor thread, which *amplifies* the coupling the
+// paper measures (a slow reservoir steals PMD cycles directly). Relative
+// ordering — vanilla ≥ q-MAX ≥ Heap ≥ SkipList, with the gap exploding at
+// q = 10^6-10^7 — is what the shape check asserts.
+#pragma once
+
+#include "bench_common.hpp"
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "common/hash.hpp"
+#include "qmax/qmax.hpp"
+#include "vswitch/vswitch.hpp"
+
+namespace qmax::bench {
+
+/// Feed MonitorRecords into any reservoir: id = src ip, value = a uniform
+/// hash of the packet id (the admission distribution the theory assumes).
+template <typename R>
+struct ReservoirMonitor {
+  R reservoir;
+  void operator()(const vswitch::MonitorRecord& rec) {
+    reservoir.add(rec.src_ip,
+                  common::to_unit_interval(common::hash64(rec.packet_id)));
+  }
+};
+
+/// Run the switch over `packets` with monitoring via `consumer`; returns
+/// delivered Mpps against the given line rate.
+template <typename Consumer>
+double run_switch_monitored(const std::vector<trace::PacketRecord>& packets,
+                            double line_rate_pps, Consumer&& consumer) {
+  vswitch::VirtualSwitch sw;
+  sw.install_default_rules();
+  const auto res = sw.forward_monitored(packets, consumer);
+  return res.delivered_mpps(line_rate_pps);
+}
+
+inline double run_switch_vanilla(
+    const std::vector<trace::PacketRecord>& packets, double line_rate_pps) {
+  vswitch::VirtualSwitch sw;
+  sw.install_default_rules();
+  const auto res = sw.forward(packets);
+  return res.delivered_mpps(line_rate_pps);
+}
+
+/// The 10G stress workload: minimal (64B) frames.
+inline const std::vector<trace::PacketRecord>& min_size_packets() {
+  static const std::vector<trace::PacketRecord> pkts = [] {
+    trace::MinSizePacketGenerator gen(1'000'000, 1);
+    return trace::take_packets(gen, common::scaled(2'000'000));
+  }();
+  return pkts;
+}
+
+/// The 40G workload: real-sized (UNIV1-like) packets.
+inline const std::vector<trace::PacketRecord>& real_size_packets() {
+  static const std::vector<trace::PacketRecord> pkts = [] {
+    trace::DatacenterLikeGenerator gen;
+    return trace::take_packets(gen, common::scaled(2'000'000));
+  }();
+  return pkts;
+}
+
+inline double line_rate_10g() { return trace::line_rate_pps(10.0, 46); }
+inline double line_rate_40g() {
+  return trace::line_rate_pps(
+      40.0, static_cast<std::uint32_t>(
+                trace::DatacenterLikeGenerator::mean_packet_bytes()));
+}
+
+/// q sweep for the switch benches (the paper's 10^4..10^7, scaled).
+inline std::vector<std::size_t> switch_qs() {
+  std::vector<std::size_t> qs{10'000, 100'000};
+  if (common::bench_large()) {
+    qs.push_back(1'000'000);
+    qs.push_back(10'000'000);
+  }
+  return qs;
+}
+
+}  // namespace qmax::bench

@@ -1,0 +1,99 @@
+// Quickstart: the q-MAX interface in five minutes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Demonstrates: plain q-MAX vs a heap on the same stream, the admission
+// threshold, queries, sliding (slack) windows, and exponential decay.
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/heap_qmax.hpp"
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "qmax/exp_decay.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+int main() {
+  using namespace qmax;
+
+  // ---------------------------------------------------------------- 1 --
+  // Track the q = 8 largest values in a stream, in worst-case O(1/γ) time
+  // per item. γ is the space/speed knob: the array holds q(1+γ) items.
+  std::printf("1) interval q-MAX\n");
+  QMax<> top8(/*q=*/8, /*gamma=*/0.25);
+  common::Xoshiro256 rng(42);
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) {
+    top8.add(/*id=*/i, /*val=*/rng.uniform() * 1e6);
+  }
+  auto winners = top8.query();
+  std::sort(winners.begin(), winners.end(),
+            [](const Entry& a, const Entry& b) { return a.val > b.val; });
+  for (const Entry& e : winners) {
+    std::printf("   id=%-8llu val=%.1f\n",
+                static_cast<unsigned long long>(e.id), e.val);
+  }
+  std::printf("   admission threshold Psi = %.1f (only values above it are "
+              "even looked at)\n",
+              top8.threshold());
+  std::printf("   admitted %llu of %llu items (the rest cost one compare)\n\n",
+              static_cast<unsigned long long>(top8.admitted()),
+              static_cast<unsigned long long>(top8.processed()));
+
+  // ---------------------------------------------------------------- 2 --
+  // Same interface, classic heap — and a quick head-to-head.
+  std::printf("2) q-MAX vs heap on 4M items, q = 100k\n");
+  const std::size_t q = 100'000;
+  {
+    common::Xoshiro256 r2(7);
+    QMax<> fast(q, /*gamma=*/0.5);
+    common::Stopwatch sw;
+    for (std::uint64_t i = 0; i < 4'000'000; ++i) fast.add(i, r2.uniform());
+    std::printf("   q-MAX (gamma=0.5): %6.1f M updates/s\n",
+                common::mops(4'000'000, sw.seconds()));
+  }
+  {
+    common::Xoshiro256 r2(7);
+    baselines::HeapQMax<> heap(q);
+    common::Stopwatch sw;
+    for (std::uint64_t i = 0; i < 4'000'000; ++i) heap.add(i, r2.uniform());
+    std::printf("   binary heap:       %6.1f M updates/s\n\n",
+                common::mops(4'000'000, sw.seconds()));
+  }
+
+  // ---------------------------------------------------------------- 3 --
+  // Slack windows: the q largest over (roughly) the last W items.
+  std::printf("3) sliding (slack) window q-MAX: W=100k, tau=0.1\n");
+  SlackQMax<QMax<>> windowed(/*window=*/100'000, /*tau=*/0.1,
+                             [] { return QMax<>(4, 0.5); });
+  windowed.add(0, 9e9);  // a huge value, long ago
+  for (std::uint64_t i = 1; i <= 500'000; ++i) {
+    windowed.add(i, rng.uniform());
+  }
+  auto recent = windowed.query();
+  std::printf("   queried window of %llu items; largest now %.3f "
+              "(the 9e9 from 500k items ago has expired)\n\n",
+              static_cast<unsigned long long>(windowed.last_coverage()),
+              std::max_element(recent.begin(), recent.end(),
+                               [](const Entry& a, const Entry& b) {
+                                 return a.val < b.val;
+                               })
+                  ->val);
+
+  // ---------------------------------------------------------------- 4 --
+  // Exponential decay: recent items weigh more (weight = val * c^age).
+  std::printf("4) exponential-decay q-MAX (c = 0.9)\n");
+  ExpDecayQMax<> decayed(/*q=*/3, /*decay=*/0.9);
+  decayed.add(100, 50.0);  // big but old...
+  for (std::uint64_t i = 0; i < 60; ++i) decayed.add(200 + i, 1.0);
+  std::printf("   survivors after 60 small recent items:");
+  for (const auto& e : decayed.query()) {
+    std::printf(" id=%llu(w=%.3f)", static_cast<unsigned long long>(e.id),
+                e.val);
+  }
+  std::printf("\n   (50*0.9^60 = %.3f: even the big item fades)\n",
+              50.0 * std::pow(0.9, 60));
+  return 0;
+}

@@ -1,0 +1,130 @@
+// trace_tool — generate, inspect and convert the library's binary traces.
+//
+//   trace_tool gen <caida|datacenter|minsize> <npackets> <out.bin> [seed]
+//   trace_tool info <trace.bin>
+//   trace_tool csv <trace.bin>            # dump as CSV to stdout
+//   trace_tool import <in.csv> <out.bin>  # ingest an external CSV capture
+//
+// The bench harness regenerates workloads from seeds, but persisted traces
+// let users replay the exact same packets across machines and compare
+// against external tools.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace qmax::trace;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool gen <caida|datacenter|minsize> <npackets> "
+               "<out.bin> [seed]\n"
+               "  trace_tool info <trace.bin>\n"
+               "  trace_tool csv <trace.bin>\n"
+               "  trace_tool import <in.csv> <out.bin>\n");
+  return 2;
+}
+
+int cmd_import(const char* in_path, const char* out_path) {
+  const auto packets = read_csv_trace(in_path);
+  write_trace(out_path, packets);
+  std::printf("imported %zu packets from %s to %s\n", packets.size(),
+              in_path, out_path);
+  return 0;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string kind = argv[2];
+  const auto n = static_cast<std::size_t>(std::atoll(argv[3]));
+  const char* path = argv[4];
+  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+  std::vector<PacketRecord> packets;
+  if (kind == "caida") {
+    CaidaLikeGenerator gen({.flows = 1'000'000, .zipf_skew = 1.0, .seed = seed});
+    packets = take_packets(gen, n);
+  } else if (kind == "datacenter") {
+    auto cfg = DatacenterLikeGenerator::default_config();
+    cfg.seed = seed;
+    DatacenterLikeGenerator gen(cfg);
+    packets = take_packets(gen, n);
+  } else if (kind == "minsize") {
+    MinSizePacketGenerator gen(1'000'000, seed);
+    packets = take_packets(gen, n);
+  } else {
+    return usage();
+  }
+  write_trace(path, packets);
+  std::printf("wrote %zu packets to %s\n", packets.size(), path);
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  const auto packets = read_trace(path);
+  if (packets.empty()) {
+    std::printf("%s: empty trace\n", path);
+    return 0;
+  }
+  std::map<std::uint64_t, std::uint64_t> flows;
+  double bytes = 0;
+  std::uint32_t min_len = ~0u, max_len = 0;
+  for (const auto& p : packets) {
+    ++flows[p.tuple.flow_key()];
+    bytes += p.length;
+    min_len = std::min(min_len, p.length);
+    max_len = std::max(max_len, p.length);
+  }
+  std::uint64_t top_count = 0;
+  for (const auto& [f, c] : flows) top_count = std::max(top_count, c);
+  const double dur_s =
+      double(packets.back().timestamp - packets.front().timestamp) / 1e9;
+
+  std::printf("%s\n", path);
+  std::printf("  packets:        %zu\n", packets.size());
+  std::printf("  distinct flows: %zu\n", flows.size());
+  std::printf("  bytes:          %.0f (mean %.1f B, min %u, max %u)\n",
+              bytes, bytes / double(packets.size()), min_len, max_len);
+  std::printf("  span:           %.3f s (%.2f Mpps offered)\n", dur_s,
+              dur_s > 0 ? double(packets.size()) / dur_s / 1e6 : 0.0);
+  std::printf("  heaviest flow:  %llu packets (%.2f%%)\n",
+              static_cast<unsigned long long>(top_count),
+              100.0 * double(top_count) / double(packets.size()));
+  return 0;
+}
+
+int cmd_csv(const char* path) {
+  const auto packets = read_trace(path);
+  std::printf("packet_id,timestamp_ns,src_ip,dst_ip,src_port,dst_port,"
+              "proto,length\n");
+  for (const auto& p : packets) {
+    std::printf("%llu,%llu,%u,%u,%u,%u,%u,%u\n",
+                static_cast<unsigned long long>(p.packet_id),
+                static_cast<unsigned long long>(p.timestamp),
+                p.tuple.src_ip, p.tuple.dst_ip, p.tuple.src_port,
+                p.tuple.dst_port, static_cast<unsigned>(p.tuple.proto),
+                p.length);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+  if (argc < 3) return usage();
+  if (std::strcmp(argv[1], "info") == 0) return cmd_info(argv[2]);
+  if (std::strcmp(argv[1], "csv") == 0) return cmd_csv(argv[2]);
+  if (std::strcmp(argv[1], "import") == 0 && argc >= 4) {
+    return cmd_import(argv[2], argv[3]);
+  }
+  return usage();
+}

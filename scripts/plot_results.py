@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Convert bench_results/*.csv (google-benchmark CSV) into per-figure
+.dat files suitable for gnuplot, and emit a ready-to-run gnuplot script.
+
+Usage:
+    scripts/run_benches.sh build bench_results
+    scripts/plot_results.py bench_results plots
+
+Each benchmark name has the form "figN/<series...>/param=value/..."; rows
+are grouped by series and emitted as (x, MPPS) pairs where x is the last
+numeric parameter (q, gamma or tau, depending on the figure).
+"""
+import csv
+import os
+import re
+import sys
+from collections import defaultdict
+
+
+def parse_csv(path):
+    """Yield (name, counters) rows from a google-benchmark CSV file."""
+    with open(path, newline="") as f:
+        # google-benchmark prepends context lines; find the header row.
+        rows = list(csv.reader(f))
+    header = None
+    for i, row in enumerate(rows):
+        if row and row[0] == "name":
+            header = i
+            break
+    if header is None:
+        return
+    cols = rows[header]
+    for row in rows[header + 1:]:
+        if not row or len(row) < len(cols):
+            continue
+        rec = dict(zip(cols, row))
+        yield rec
+
+
+def series_and_x(name):
+    """Split 'fig4/qmax/q=10000/g=0.050' into ('fig4/qmax/q=10000', 0.05)."""
+    parts = name.split("/")
+    # Strip the google-benchmark suffix ("iterations:1").
+    parts = [p for p in parts if not p.startswith("iterations")]
+    x = None
+    for i in range(len(parts) - 1, -1, -1):
+        m = re.match(r"^[A-Za-z_]+=([0-9.eE+-]+)$", parts[i])
+        if m:
+            x = float(m.group(1))
+            series = "/".join(parts[:i] + parts[i + 1:])
+            return series, x
+    return "/".join(parts), None
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    dst = sys.argv[2] if len(sys.argv) > 2 else "plots"
+    os.makedirs(dst, exist_ok=True)
+
+    per_figure = defaultdict(lambda: defaultdict(list))
+    for fname in sorted(os.listdir(src)):
+        if not fname.endswith(".csv"):
+            continue
+        for rec in parse_csv(os.path.join(src, fname)):
+            mpps = rec.get("MPPS") or rec.get("update_MPPS")
+            if not mpps:
+                continue
+            series, x = series_and_x(rec["name"])
+            fig = series.split("/")[0]
+            per_figure[fig][series].append((x, float(mpps)))
+
+    gnuplot_lines = ["set terminal pngcairo size 900,600",
+                     "set logscale x", "set ylabel 'MPPS'", "set key outside"]
+    for fig, series_map in sorted(per_figure.items()):
+        dat = os.path.join(dst, f"{fig}.dat")
+        with open(dat, "w") as f:
+            for series, pts in sorted(series_map.items()):
+                f.write(f'# {series}\n')
+                for x, y in sorted(p for p in pts if p[0] is not None):
+                    f.write(f"{x} {y}\n")
+                f.write("\n\n")
+        gnuplot_lines += [
+            f"set output '{dst}/{fig}.png'",
+            f"set title '{fig}'",
+            f"plot for [i=0:{len(series_map) - 1}] '{dat}' "
+            "index i using 1:2 with linespoints title columnheader(1)",
+        ]
+        print(f"{fig}: {len(series_map)} series -> {dat}")
+
+    script = os.path.join(dst, "plots.gp")
+    with open(script, "w") as f:
+        f.write("\n".join(gnuplot_lines) + "\n")
+    print(f"gnuplot script: {script}")
+
+
+if __name__ == "__main__":
+    main()

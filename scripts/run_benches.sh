@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and collect results.
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir] [out-dir]
+#
+# Environment knobs forwarded to the binaries:
+#   QMAX_BENCH_SCALE   stream-length multiplier (default 1.0)
+#   QMAX_BENCH_LARGE   "1" enables the q = 10^6 / 10^7 points
+#   QMAX_BENCH_REPS    repetitions for the table benches (default 3)
+#
+# For each figure benchmark, both the console output and a CSV
+# (google-benchmark's --benchmark_format=csv) are stored; table benches
+# produce plain text.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+mkdir -p "$OUT_DIR"
+
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name =="
+  if [[ "$name" == *tab0* || "$name" == *sec3* ]]; then
+    "$bin" | tee "$OUT_DIR/$name.txt"
+  else
+    "$bin" --benchmark_format=csv > "$OUT_DIR/$name.csv" 2>/dev/null || true
+    "$bin" | tee "$OUT_DIR/$name.txt"
+  fi
+done
+
+echo
+echo "results in $OUT_DIR/"

@@ -1,0 +1,178 @@
+// Bottom-k sketches (Cohen & Kaplan, PODC 2007) — Section 2.2.
+//
+// A bottom-k sketch summarizes a weighted set of distinct keys: each key
+// gets rank r = u / w (u ~ Uniform(0,1] from a keyed hash), and the sketch
+// keeps the k keys of *minimal* rank — a q-MIN pattern. Subset statistics
+// (sums, means, quantiles over any key predicate) follow from the
+// inverse-probability estimator: with τ = the (k+1)-th smallest rank, a
+// sketched key contributes ŵ = max(w, 1/τ), which is unbiased for w.
+//
+// Sketches with the same seed are mergeable — the bottom-k of the union is
+// computable from the unions of the bottom-k's — which is what lets an SDN
+// controller combine per-switch sketches into network-wide visibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/priority_sampling.hpp"
+#include "common/hash.hpp"
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+#include "qmax/qmax.hpp"
+
+namespace qmax::apps {
+
+template <Reservoir R = QMax<WeightedKey, double>>
+  requires std::same_as<typename R::EntryT, SamplingEntry>
+class BottomKSketch {
+ public:
+  struct Item {
+    std::uint64_t key = 0;
+    double weight = 0.0;
+    double rank = 0.0;
+    double estimate = 0.0;  // max(w, 1/τ)
+  };
+
+  BottomKSketch(std::size_t k, R reservoir, std::uint64_t seed = 0)
+      : k_(k), seed_(seed), reservoir_(std::move(reservoir)) {}
+
+  /// Report a distinct key with positive weight.
+  bool add(std::uint64_t key, double weight) {
+    if (!(weight > 0.0)) return false;
+    const double u = common::to_unit_interval_open0(common::hash64(key, seed_));
+    const double rank = u / weight;
+    // q-MAX keeps maxima; feed the negated rank to keep minima.
+    return reservoir_.add(WeightedKey{key, weight}, -rank);
+  }
+
+  /// The k minimal-rank keys with inverse-probability estimates.
+  [[nodiscard]] std::vector<Item> contents() const {
+    buf_.clear();
+    reservoir_.query_into(buf_);
+    // Largest stored value = smallest rank; threshold = (k+1)-th rank.
+    double tau = 0.0;
+    std::size_t tau_idx = buf_.size();
+    if (buf_.size() == k_ + 1) {
+      tau_idx = 0;
+      for (std::size_t i = 1; i < buf_.size(); ++i) {
+        if (buf_[i].val < buf_[tau_idx].val) tau_idx = i;
+      }
+      tau = -buf_[tau_idx].val;
+    }
+    std::vector<Item> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      if (i == tau_idx) continue;
+      const auto& e = buf_[i];
+      const double floor_w = tau > 0.0 ? 1.0 / tau : 0.0;
+      out.push_back(Item{e.id.key, e.id.weight, -e.val,
+                         e.id.weight > floor_w ? e.id.weight : floor_w});
+    }
+    return out;
+  }
+
+  /// Estimated total weight of keys matching `pred`.
+  [[nodiscard]] double subset_sum(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    double total = 0.0;
+    for (const Item& it : contents()) {
+      if (pred(it.key)) total += it.estimate;
+    }
+    return total;
+  }
+
+  /// Estimated number of keys matching `pred` (inverse-probability count:
+  /// each sketched key stands for estimate/weight keys of its weight).
+  [[nodiscard]] double subset_count(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    double total = 0.0;
+    for (const Item& it : contents()) {
+      if (pred(it.key)) total += it.estimate / it.weight;
+    }
+    return total;
+  }
+
+  /// Estimated mean weight over keys matching `pred`.
+  [[nodiscard]] double subset_mean(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    const double count = subset_count(pred);
+    return count > 0.0 ? subset_sum(pred) / count : 0.0;
+  }
+
+  /// Estimated population variance of weights over keys matching `pred`
+  /// (the "variance and higher frequency moments" of Section 2.2): the
+  /// second moment uses per-key contributions w·(estimate/w) = estimate·w.
+  [[nodiscard]] double subset_variance(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    double count = 0.0, sum = 0.0, sum2 = 0.0;
+    for (const Item& it : contents()) {
+      if (!pred(it.key)) continue;
+      const double inv_p = it.estimate / it.weight;  // 1/p̂ of inclusion
+      count += inv_p;
+      sum += inv_p * it.weight;
+      sum2 += inv_p * it.weight * it.weight;
+    }
+    if (count <= 1.0) return 0.0;
+    const double mean = sum / count;
+    return sum2 / count - mean * mean;
+  }
+
+  /// Estimated weighted φ-quantile of the subset: the weight value below
+  /// which a φ fraction of the subset's total weight lies. Tail latency
+  /// style queries (paper §2.2) are quantiles of per-flow metrics.
+  [[nodiscard]] double subset_quantile(
+      const std::function<bool(std::uint64_t)>& pred, double phi) const {
+    std::vector<std::pair<double, double>> wv;  // (weight, estimate mass)
+    double total = 0.0;
+    for (const Item& it : contents()) {
+      if (!pred(it.key)) continue;
+      wv.emplace_back(it.weight, it.estimate);
+      total += it.estimate;
+    }
+    if (wv.empty()) return 0.0;
+    std::sort(wv.begin(), wv.end());
+    const double target = phi * total;
+    double acc = 0.0;
+    for (const auto& [w, mass] : wv) {
+      acc += mass;
+      if (acc >= target) return w;
+    }
+    return wv.back().first;
+  }
+
+  /// Merge another sketch (same k and seed) into this one: the bottom-k of
+  /// the union. Duplicate keys across sketches carry identical ranks and
+  /// collapse to one candidate.
+  void merge(const BottomKSketch& other) {
+    // The reservoir may already hold a key the other sketch reports (same
+    // seed ⇒ same rank); a second insert would double-count it at
+    // estimation time.
+    merged_.clear();
+    reservoir_.query_into(merged_);
+    dedup_.clear();
+    for (const auto& mine : merged_) dedup_.insert(mine.id.key);
+    buf_.clear();
+    other.reservoir_.query_into(buf_);
+    for (const auto& e : buf_) {
+      if (dedup_.find(e.id.key) == dedup_.end()) reservoir_.add(e.id, e.val);
+    }
+  }
+
+  void reset() { reservoir_.reset(); }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::size_t k_;
+  std::uint64_t seed_;
+  R reservoir_;
+  mutable std::vector<SamplingEntry> buf_;
+  mutable std::vector<SamplingEntry> merged_;
+  std::unordered_set<std::uint64_t> dedup_;
+};
+
+}  // namespace qmax::apps

@@ -1,0 +1,101 @@
+// Wire format for NMP → controller reports.
+//
+// In the paper's deployment the NMPs and the controller are different
+// machines: reports cross the network. This header gives the sample
+// report a stable little-endian encoding (magic, version, count,
+// fixed-width records) so reports can be shipped over any byte channel
+// and replayed across builds. The controller accepts serialized reports
+// directly (collect_serialized), and a report's wire size — 24 bytes per
+// sampled packet — is the per-epoch control-plane cost the paper's
+// network-wide schemes are designed to keep at O(k).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/nwhh.hpp"
+
+namespace qmax::apps {
+
+inline constexpr std::uint32_t kReportMagic = 0x51524E57;  // "QRNW"
+inline constexpr std::uint32_t kReportVersion = 1;
+
+/// Serialize a report (as produced by Nmp::report_into) to bytes.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_report(
+    std::span<const NwhhEntry> report) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + report.size() * 24);
+  // resize+memcpy rather than insert(range): GCC 12 raises a spurious
+  // -Wstringop-overflow on the range form with constexpr sources.
+  auto put = [&out](const void* p, std::size_t n) {
+    const std::size_t off = out.size();
+    out.resize(off + n);
+    std::memcpy(out.data() + off, p, n);
+  };
+  put(&kReportMagic, 4);
+  put(&kReportVersion, 4);
+  const std::uint64_t count = report.size();
+  put(&count, 8);
+  for (const NwhhEntry& e : report) {
+    put(&e.id.packet_id, 8);
+    put(&e.id.flow, 8);
+    put(&e.val, 8);
+  }
+  return out;
+}
+
+/// Parse a report produced by encode_report. Throws std::runtime_error on
+/// corruption (bad magic/version, truncation, or trailing bytes).
+[[nodiscard]] inline std::vector<NwhhEntry> decode_report(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  auto take = [&](void* p, std::size_t n) {
+    if (off + n > bytes.size()) {
+      throw std::runtime_error("nwhh report: truncated");
+    }
+    std::memcpy(p, bytes.data() + off, n);
+    off += n;
+  };
+  std::uint32_t magic = 0, version = 0;
+  take(&magic, 4);
+  take(&version, 4);
+  if (magic != kReportMagic) {
+    throw std::runtime_error("nwhh report: bad magic");
+  }
+  if (version != kReportVersion) {
+    throw std::runtime_error("nwhh report: unsupported version");
+  }
+  std::uint64_t count = 0;
+  take(&count, 8);
+  if (bytes.size() - off != count * 24) {
+    throw std::runtime_error("nwhh report: length mismatch");
+  }
+  std::vector<NwhhEntry> report;
+  report.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NwhhEntry e;
+    take(&e.id.packet_id, 8);
+    take(&e.id.flow, 8);
+    take(&e.val, 8);
+    report.push_back(e);
+  }
+  return report;
+}
+
+/// Controller-side ingestion of a serialized report: the remote
+/// equivalent of NwhhController::collect.
+inline void collect_serialized(NwhhController& controller,
+                               std::span<const std::uint8_t> bytes) {
+  struct Adapter {
+    std::vector<NwhhEntry> entries;
+    void report_into(std::vector<NwhhEntry>& out) const {
+      out.insert(out.end(), entries.begin(), entries.end());
+    }
+  };
+  controller.collect(Adapter{decode_report(bytes)});
+}
+
+}  // namespace qmax::apps

@@ -1,0 +1,266 @@
+// Priority-Based Aggregation (Duffield et al., CIKM 2017) — Section 2.1.
+//
+// PBA generalizes Priority Sampling to streams where a key appears many
+// times: flow x should be sampled proportionally to its *total* byte count
+// W_x = Σ w_i. Each key keeps a fixed uniform rank u_x (keyed hash) and a
+// running priority W_x / u_x that only grows as packets arrive, and the
+// sample is the k keys of maximal priority.
+//
+// Two implementations:
+//
+//  * Pba<R>: the q-MAX-friendly formulation. A key's priority only grows,
+//    so its resident reservoir entry is a valid *lower bound*; the exact
+//    aggregate lives in a side table. The entry is re-inserted (with the
+//    updated priority) only when the resident one has fallen to or below
+//    the reservoir's admission threshold — i.e., exactly when it is at
+//    risk of eviction. This keeps duplicates rare (one per threshold
+//    crossing, not one per packet: naive per-packet re-insertion lets a
+//    single hot flow's ever-growing priorities monopolize the whole
+//    reservoir) while guaranteeing that a flow whose current priority
+//    exceeds the threshold stays sampled as long as it keeps sending.
+//    Evictions are reconciled into the side table via the eviction
+//    callback (q-MAX) or the exact-replace result (heap / skiplist).
+//
+//  * PbaLinearHeap: the paper's *actual* Heap baseline. The std-library
+//    heap cannot sift an arbitrary element, so a value update costs O(q)
+//    (linear key search + sift) — this is why Figure 8e/8f shows Heap-PBA
+//    up to ×875 slower than q-MAX.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/priority_sampling.hpp"
+#include "common/hash.hpp"
+#include "qmax/concepts.hpp"
+
+namespace qmax::apps {
+
+template <Reservoir R>
+  requires std::same_as<typename R::EntryT, SamplingEntry>
+class Pba {
+ public:
+  struct Sample {
+    std::uint64_t key = 0;
+    double weight = 0.0;    // aggregated W_x over the tracked span
+    double estimate = 0.0;  // max(W_x, τ)
+  };
+
+  Pba(std::size_t k, R reservoir, std::uint64_t seed = 0)
+      : k_(k), seed_(seed), reservoir_(std::move(reservoir)) {
+    if constexpr (requires(R r) {
+                    r.set_evict_callback(typename R::EvictCallback{});
+                  }) {
+      reservoir_.set_evict_callback(
+          [this](const SamplingEntry& e) { reconcile(e); });
+    }
+  }
+
+  Pba(const Pba&) = delete;             // the callback captures `this`
+  Pba& operator=(const Pba&) = delete;
+
+  /// Report a packet of flow `key` with byte size `weight` (> 0).
+  ///
+  /// Invariant: `key ∈ agg_` if and only if the reservoir holds an entry
+  /// of this key whose priority equals agg_[key].last_priority (possibly
+  /// plus older, strictly-smaller duplicates pending eviction). A rejected
+  /// insert of an untracked key leaves the side table untouched — the
+  /// increment is lost, which is PBA's "flow not in sample" semantics.
+  void add(std::uint64_t key, double weight) {
+    if (!(weight > 0.0)) return;
+    const auto it = agg_.find(key);
+    const double u = common::to_unit_interval_open0(common::hash64(key, seed_));
+    if (it != agg_.end()) {
+      it->second.weight += weight;
+      // The resident entry's (older) priority still clears the admission
+      // bound: the key is safe, no reservoir touch needed.
+      if (it->second.last_priority > reservoir_.threshold()) return;
+      const double w_total = it->second.weight;
+      const double priority = w_total / u;
+      if (insert(WeightedKey{key, w_total}, priority)) {
+        // Re-find: eviction reconciliation inside insert() may have
+        // erased (or not) this key's record.
+        agg_[key] = Track{w_total, priority};
+      }
+      return;
+    }
+    const double priority = weight / u;
+    if (insert(WeightedKey{key, weight}, priority)) {
+      agg_[key] = Track{weight, priority};
+    }
+  }
+
+  /// The aggregated sample (duplicates and stale entries resolved), with
+  /// max(W, τ) subset-sum estimates. Weights come from the side table —
+  /// exact aggregates over each flow's tracked span.
+  [[nodiscard]] std::vector<Sample> sample() const {
+    buf_.clear();
+    reservoir_.query_into(buf_);
+    std::vector<Sample> valid;
+    valid.reserve(buf_.size());
+    seen_.clear();
+    double tau = 0.0;  // smallest current priority = estimation threshold
+    const bool full = reservoir_.live_count() >= k_ + 1;
+    for (const auto& e : buf_) {
+      auto it = agg_.find(e.id.key);
+      if (it == agg_.end()) continue;                    // evicted key
+      if (!seen_.insert(e.id.key).second) continue;      // older duplicate
+      valid.push_back(Sample{e.id.key, it->second.weight, 0.0});
+      if (full) {
+        const double u =
+            common::to_unit_interval_open0(common::hash64(e.id.key, seed_));
+        const double prio = it->second.weight / u;
+        tau = tau == 0.0 ? prio : (prio < tau ? prio : tau);
+      }
+    }
+    for (Sample& s : valid) {
+      s.estimate = s.weight > tau ? s.weight : tau;
+    }
+    return valid;
+  }
+
+  /// Unbiased-style estimate of the total byte volume of flows matching
+  /// `pred` (see PrioritySampler::subset_sum).
+  [[nodiscard]] double subset_sum(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    double total = 0.0;
+    for (const Sample& s : sample()) {
+      if (pred(s.key)) total += s.estimate;
+    }
+    return total;
+  }
+
+  /// Currently tracked aggregate of a flow (0 when untracked).
+  [[nodiscard]] double tracked_weight(std::uint64_t key) const {
+    auto it = agg_.find(key);
+    return it == agg_.end() ? 0.0 : it->second.weight;
+  }
+
+  [[nodiscard]] std::size_t tracked_flows() const noexcept {
+    return agg_.size();
+  }
+
+  void reset() {
+    reservoir_.reset();
+    agg_.clear();
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] const R& reservoir() const noexcept { return reservoir_; }
+
+ private:
+  struct Track {
+    double weight = 0.0;         // exact aggregate over the tracked span
+    double last_priority = 0.0;  // priority of the key's resident entry
+  };
+
+  /// Insert into the reservoir, reconciling whatever got displaced.
+  /// Returns whether the entry was admitted.
+  bool insert(const WeightedKey& id, double priority) {
+    if constexpr (requires(R r, SamplingEntry e) {
+                    r.add_replace(e.id, e.val);
+                  }) {
+      const auto displaced = reservoir_.add_replace(id, priority);
+      // A bounced insert returns the incoming item itself.
+      const bool accepted = !(displaced && displaced->id == id &&
+                              displaced->val == priority);
+      if (displaced) reconcile(*displaced);  // harmless for the bounce case
+      return accepted;
+    } else {
+      // Batch evictions fire the reconcile() callback inside add().
+      return reservoir_.add(id, priority);
+    }
+  }
+
+  void reconcile(const SamplingEntry& evicted) {
+    // Stop tracking a key only when its *resident* (latest) entry leaves
+    // the reservoir; evicting an older duplicate must not untrack it.
+    auto it = agg_.find(evicted.id.key);
+    if (it != agg_.end() && it->second.last_priority == evicted.val) {
+      agg_.erase(it);
+    }
+  }
+
+  std::size_t k_;
+  std::uint64_t seed_;
+  R reservoir_;
+  std::unordered_map<std::uint64_t, Track> agg_;
+  mutable std::vector<SamplingEntry> buf_;
+  mutable std::unordered_set<std::uint64_t> seen_;
+};
+
+/// The paper's Heap baseline: value updates by linear search + sift,
+/// O(q) per packet once the key is resident.
+class PbaLinearHeap {
+ public:
+  struct Node {
+    std::uint64_t key = 0;
+    double weight = 0.0;
+    double priority = 0.0;
+  };
+
+  explicit PbaLinearHeap(std::size_t k, std::uint64_t seed = 0)
+      : k_(k), seed_(seed) {
+    heap_.reserve(k + 1);
+  }
+
+  void add(std::uint64_t key, double weight) {
+    if (!(weight > 0.0)) return;
+    const double u = common::to_unit_interval_open0(common::hash64(key, seed_));
+    // O(q) linear probe — the operation the std heap cannot avoid.
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].key == key) {
+        heap_[i].weight += weight;
+        heap_[i].priority = heap_[i].weight / u;
+        sift_down(i);  // priority grew; min-heap order restored downward
+        return;
+      }
+    }
+    const Node n{key, weight, weight / u};
+    if (heap_.size() < k_ + 1) {
+      heap_.push_back(n);
+      sift_up(heap_.size() - 1);
+    } else if (n.priority > heap_[0].priority) {
+      heap_[0] = n;
+      sift_down(0);
+    }
+  }
+
+  [[nodiscard]] std::vector<Node> sample() const { return heap_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  void reset() { heap_.clear(); }
+
+ private:
+  void sift_up(std::size_t i) noexcept {
+    Node v = heap_[i];
+    while (i > 0 && v.priority < heap_[(i - 1) / 2].priority) {
+      heap_[i] = heap_[(i - 1) / 2];
+      i = (i - 1) / 2;
+    }
+    heap_[i] = v;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    Node v = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].priority < heap_[child].priority) {
+        ++child;
+      }
+      if (!(heap_[child].priority < v.priority)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = v;
+  }
+
+  std::size_t k_;
+  std::uint64_t seed_;
+  std::vector<Node> heap_;
+};
+
+}  // namespace qmax::apps

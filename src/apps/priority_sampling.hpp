@@ -1,0 +1,123 @@
+// Priority Sampling (Duffield, Lund, Thorup — J.ACM 2007), Section 2.1 of
+// the q-MAX paper.
+//
+// Given a weighted stream of *distinct* keys, Priority Sampling draws k
+// keys with probability proportional to weight and is variance-optimal
+// among weighted sampling schemes. Each key gets priority p = w / u with
+// u ~ Uniform(0,1] (derived from a keyed hash, so the scheme is
+// deterministic per seed and mergeable); the sample is the k keys of
+// maximal priority — a pure q-MAX pattern with q = k + 1 (the (k+1)-th
+// priority is the estimation threshold τ).
+//
+// Subset-sum estimation: every sampled key contributes ŵ = max(w, τ);
+// unsampled keys contribute 0. E[ŵ] = w per key, so any subset sum is
+// unbiased (the property the paper's traffic-engineering use cases need).
+//
+// The reservoir type is a template parameter satisfying the Reservoir
+// concept — the paper's comparison (Heap vs SkipList vs q-MAX, Figures
+// 8a/8b) is this one class instantiated three ways.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+
+namespace qmax::apps {
+
+/// Reservoir item identity for sampling apps: the key plus the weight it
+/// carried (needed by the max(w, τ) estimator at query time).
+struct WeightedKey {
+  std::uint64_t key = 0;
+  double weight = 0.0;
+
+  friend constexpr bool operator==(const WeightedKey&,
+                                   const WeightedKey&) = default;
+};
+
+using SamplingEntry = BasicEntry<WeightedKey, double>;
+
+template <Reservoir R>
+  requires std::same_as<typename R::EntryT, SamplingEntry>
+class PrioritySampler {
+ public:
+  struct Sample {
+    std::uint64_t key = 0;
+    double weight = 0.0;    // true observed weight
+    double estimate = 0.0;  // max(weight, τ): unbiased inverse-probability
+  };
+
+  /// @param k         sample size (reservoir holds k+1 for the threshold)
+  /// @param reservoir a reservoir constructed with q = k + 1
+  /// @param seed      hash seed for the per-key uniform ranks
+  PrioritySampler(std::size_t k, R reservoir, std::uint64_t seed = 0)
+      : k_(k), seed_(seed), reservoir_(std::move(reservoir)) {}
+
+  /// Report a (distinct) key with its weight. Returns true if the key
+  /// currently enters the sample candidates.
+  bool add(std::uint64_t key, double weight) {
+    const double u = common::to_unit_interval_open0(common::hash64(key, seed_));
+    const double priority = weight / u;
+    return reservoir_.add(WeightedKey{key, weight}, priority);
+  }
+
+  /// The k sampled keys with their subset-sum estimates.
+  [[nodiscard]] std::vector<Sample> sample() const {
+    buf_.clear();
+    reservoir_.query_into(buf_);
+    // The smallest of the k+1 priorities is the threshold τ; the rest are
+    // the sample.
+    double tau = 0.0;
+    std::size_t tau_idx = buf_.size();
+    if (buf_.size() == k_ + 1) {
+      tau_idx = 0;
+      for (std::size_t i = 1; i < buf_.size(); ++i) {
+        if (buf_[i].val < buf_[tau_idx].val) tau_idx = i;
+      }
+      tau = buf_[tau_idx].val;
+    }
+    std::vector<Sample> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < buf_.size(); ++i) {
+      if (i == tau_idx) continue;
+      const auto& e = buf_[i];
+      out.push_back(Sample{e.id.key, e.id.weight,
+                           e.id.weight > tau ? e.id.weight : tau});
+    }
+    return out;
+  }
+
+  /// Unbiased estimate of the total weight of keys matching `pred`.
+  [[nodiscard]] double subset_sum(
+      const std::function<bool(std::uint64_t)>& pred) const {
+    double total = 0.0;
+    for (const Sample& s : sample()) {
+      if (pred(s.key)) total += s.estimate;
+    }
+    return total;
+  }
+
+  /// Unbiased estimate of the total stream weight.
+  [[nodiscard]] double total_sum() const {
+    double total = 0.0;
+    for (const Sample& s : sample()) total += s.estimate;
+    return total;
+  }
+
+  void reset() { reservoir_.reset(); }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] R& reservoir() noexcept { return reservoir_; }
+  [[nodiscard]] const R& reservoir() const noexcept { return reservoir_; }
+
+ private:
+  std::size_t k_;
+  std::uint64_t seed_;
+  R reservoir_;
+  mutable std::vector<SamplingEntry> buf_;
+};
+
+}  // namespace qmax::apps

@@ -1,0 +1,211 @@
+// Universal Monitoring (Liu et al., SIGCOMM 2016) — Section 2.4.
+//
+// UnivMon answers a whole family of metrics (entropy, frequency moments,
+// distinct counts...) from one sketch hierarchy: L levels of substreams,
+// each key participating in level ℓ with probability 2^(−ℓ), each level
+// carrying a Count Sketch plus a top-q heavy-hitter tracker. The G-sum
+// Σ g(f_x) is estimated bottom-up by the recursive estimator
+//
+//   Y_L = Σ_{x ∈ HH_L} g(f̂_x)
+//   Y_ℓ = 2·Y_{ℓ+1} + Σ_{x ∈ HH_ℓ} (1 − 2·1[x ∈ level ℓ+1]) · g(f̂_ℓ(x)).
+//
+// The per-level heavy-hitter tracker is the q-MAX pattern: updated
+// estimates are inserted as fresh (key, f̂) entries and de-duplicated at
+// query time, so the min-heap of the original implementation — the
+// bottleneck the paper (and NitroSketch) identify — is replaceable by any
+// Reservoir.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+#include "qmax/qmax.hpp"
+
+namespace qmax::apps {
+
+/// Count Sketch (Charikar, Chen, Farach-Colton, ICALP 2002): d×w counters,
+/// per-row sign hashes, median-of-rows point estimates.
+class CountSketch {
+ public:
+  CountSketch(std::size_t rows, std::size_t cols, std::uint64_t seed = 0)
+      : rows_(rows), seed_(seed) {
+    std::size_t w = 8;
+    while (w < cols) w <<= 1;
+    mask_ = w - 1;
+    counters_.assign(rows_ * w, 0);
+  }
+
+  void update(std::uint64_t key, std::int64_t delta = 1) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::uint64_t h = common::hash64(key, seed_ + r * 0x9E37);
+      const std::size_t col = h & mask_;
+      const std::int64_t sign = (h >> 63) ? 1 : -1;
+      counters_[r * (mask_ + 1) + col] += sign * delta;
+    }
+  }
+
+  [[nodiscard]] std::int64_t estimate(std::uint64_t key) const {
+    row_buf_.clear();
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::uint64_t h = common::hash64(key, seed_ + r * 0x9E37);
+      const std::size_t col = h & mask_;
+      const std::int64_t sign = (h >> 63) ? 1 : -1;
+      row_buf_.push_back(sign * counters_[r * (mask_ + 1) + col]);
+    }
+    std::nth_element(row_buf_.begin(),
+                     row_buf_.begin() + static_cast<std::ptrdiff_t>(rows_ / 2),
+                     row_buf_.end());
+    return row_buf_[rows_ / 2];
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return mask_ + 1; }
+
+  void reset() { std::fill(counters_.begin(), counters_.end(), 0); }
+
+ private:
+  std::size_t rows_;
+  std::uint64_t seed_;
+  std::size_t mask_ = 0;
+  std::vector<std::int64_t> counters_;
+  mutable std::vector<std::int64_t> row_buf_;
+};
+
+template <Reservoir R = QMax<>>
+  requires std::same_as<typename R::EntryT, Entry>
+class UnivMon {
+ public:
+  struct Config {
+    std::size_t levels = 12;
+    std::size_t sketch_rows = 5;
+    std::size_t sketch_cols = 1024;
+    std::size_t heavy_hitters = 64;  // q per level
+    std::uint64_t seed = 0;
+  };
+
+  template <typename Factory>
+  UnivMon(Config cfg, Factory&& make_reservoir) : cfg_(cfg) {
+    levels_.reserve(cfg.levels);
+    for (std::size_t l = 0; l < cfg.levels; ++l) {
+      levels_.push_back(Level{
+          CountSketch(cfg.sketch_rows, cfg.sketch_cols, cfg.seed + 31 * l),
+          make_reservoir()});
+    }
+  }
+
+  /// Process one packet of flow `key`.
+  void update(std::uint64_t key) {
+    ++processed_;
+    const std::size_t deepest = sample_depth(key);
+    for (std::size_t l = 0; l <= deepest; ++l) {
+      Level& lv = levels_[l];
+      lv.sketch.update(key);
+      const std::int64_t est = lv.sketch.estimate(key);
+      if (est > 0) {
+        // Fresh (key, estimate) entries; stale duplicates are dominated
+        // and resolved at query time.
+        lv.tracker.add(key, static_cast<double>(est));
+      }
+    }
+  }
+
+  /// Estimate Σ_x g(f_x) over distinct keys via the recursive estimator.
+  [[nodiscard]] double g_sum(const std::function<double(double)>& g) const {
+    double y = 0.0;
+    for (std::size_t l = cfg_.levels; l-- > 0;) {
+      const auto hh = level_heavy_hitters(l);
+      double level_sum = 0.0;
+      if (l + 1 == cfg_.levels) {
+        for (const auto& [key, f] : hh) level_sum += g(f);
+        y = level_sum;
+      } else {
+        for (const auto& [key, f] : hh) {
+          const bool deeper = sample_depth(key) > l;
+          level_sum += (deeper ? -1.0 : 1.0) * g(f);
+        }
+        y = 2.0 * y + level_sum;
+      }
+    }
+    return y;
+  }
+
+  /// Empirical entropy estimate: H = log2(N) − (1/N)·Σ f·log2(f).
+  [[nodiscard]] double entropy() const {
+    const double n = static_cast<double>(processed_);
+    if (n == 0) return 0.0;
+    const double fs = g_sum(
+        [](double f) { return f > 0.0 ? f * std::log2(f) : 0.0; });
+    return std::log2(n) - fs / n;
+  }
+
+  /// Second frequency moment F2 = Σ f².
+  [[nodiscard]] double f2() const {
+    return g_sum([](double f) { return f * f; });
+  }
+
+  /// Distinct-key estimate (G-sum with the indicator function).
+  [[nodiscard]] double distinct() const {
+    return g_sum([](double f) { return f > 0.0 ? 1.0 : 0.0; });
+  }
+
+  /// Top flows of level 0 (plain heavy hitters), heaviest first.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> heavy_hitters()
+      const {
+    return level_heavy_hitters(0);
+  }
+
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  void reset() {
+    for (Level& lv : levels_) {
+      lv.sketch.reset();
+      lv.tracker.reset();
+    }
+    processed_ = 0;
+  }
+
+ private:
+  struct Level {
+    CountSketch sketch;
+    R tracker;
+  };
+
+  /// Deepest level this key participates in: geometric via trailing ones
+  /// of a dedicated hash (P = 2^(−ℓ) to reach level ℓ).
+  [[nodiscard]] std::size_t sample_depth(std::uint64_t key) const {
+    const std::uint64_t h = common::hash64(key, cfg_.seed ^ 0x5A5A5A5AULL);
+    const std::size_t depth = static_cast<std::size_t>(std::countr_one(h));
+    return depth >= cfg_.levels ? cfg_.levels - 1 : depth;
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>>
+  level_heavy_hitters(std::size_t l) const {
+    buf_.clear();
+    levels_[l].tracker.query_into(buf_);
+    // De-duplicate: estimates only grow, keep the freshest (max).
+    std::unordered_map<std::uint64_t, double> best;
+    for (const auto& e : buf_) {
+      auto [it, fresh] = best.try_emplace(e.id, e.val);
+      if (!fresh && e.val > it->second) it->second = e.val;
+    }
+    std::vector<std::pair<std::uint64_t, double>> out(best.begin(), best.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return out;
+  }
+
+  Config cfg_;
+  std::vector<Level> levels_;
+  std::uint64_t processed_ = 0;
+  mutable std::vector<Entry> buf_;
+};
+
+}  // namespace qmax::apps

@@ -1,0 +1,126 @@
+// Heap baseline: the classic O(log q)-update top-q reservoir.
+//
+// A binary min-heap over values holds the q largest items seen; a new item
+// that beats the root replaces it and sifts down. This is the strongest
+// conventional baseline in the paper's evaluation (Figures 4-6) and the
+// implementation the original applications (network-wide heavy hitters,
+// UnivMon) shipped with.
+//
+// Unlike the array-based q-MAX, the heap has *exact replace* semantics:
+// every insertion beyond capacity evicts precisely the current minimum.
+// The sorting reduction of Theorem 3 (Algorithm 2) consumes exactly that
+// replaced item, so add_replace() exposes it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/entry.hpp"
+
+namespace qmax::baselines {
+
+template <typename Id = std::uint64_t, typename Value = double>
+class HeapQMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+
+  explicit HeapQMax(std::size_t q) : q_(q) {
+    if (q == 0) throw std::invalid_argument("HeapQMax: q must be positive");
+    heap_.reserve(q);
+  }
+
+  /// Report an item. Returns true if it entered the reservoir.
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return false;
+    if (heap_.size() < q_) {
+      heap_.push_back(EntryT{id, val});
+      sift_up(heap_.size() - 1);
+      return true;
+    }
+    if (!(val > heap_[0].val)) return false;
+    heap_[0] = EntryT{id, val};
+    sift_down(0);
+    return true;
+  }
+
+  /// Report an item and return what was displaced: the incoming item if it
+  /// was below the minimum, the previous minimum if it was replaced, or
+  /// nothing while the reservoir is still filling.
+  std::optional<EntryT> add_replace(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return EntryT{id, val};
+    if (heap_.size() < q_) {
+      heap_.push_back(EntryT{id, val});
+      sift_up(heap_.size() - 1);
+      return std::nullopt;
+    }
+    if (!(val > heap_[0].val)) return EntryT{id, val};
+    EntryT evicted = heap_[0];
+    heap_[0] = EntryT{id, val};
+    sift_down(0);
+    return evicted;
+  }
+
+  /// Admission bound: the q-th largest so far (empty sentinel while
+  /// filling). Mirrors QMax::threshold().
+  [[nodiscard]] Value threshold() const noexcept {
+    return heap_.size() < q_ ? kEmptyValue<Value> : heap_[0].val;
+  }
+
+  void query_into(std::vector<EntryT>& out) const {
+    out.insert(out.end(), heap_.begin(), heap_.end());
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const { return heap_; }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& e : heap_) fn(e);
+  }
+
+  void reset() noexcept {
+    heap_.clear();
+    processed_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] const EntryT& min() const { return heap_.at(0); }
+
+ private:
+  void sift_up(std::size_t i) noexcept {
+    EntryT v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(v.val < heap_[parent].val)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = v;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    EntryT v = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].val < heap_[child].val) ++child;
+      if (!(heap_[child].val < v.val)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = v;
+  }
+
+  std::size_t q_;
+  std::vector<EntryT> heap_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace qmax::baselines

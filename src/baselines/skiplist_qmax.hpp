@@ -1,0 +1,192 @@
+// SkipList baseline: the O(log q)-expected-update top-q reservoir.
+//
+// The paper's second conventional baseline (modelled on the ustcdane
+// skiplist and Redis's implementation). Items are kept in ascending value
+// order; a new item beyond capacity replaces the head-of-list minimum.
+//
+// We avoid per-node heap allocation (a known throughput killer that the
+// paper's numbers reflect only partially) with a slot pool: all nodes live
+// in flat vectors, forward pointers are 32-bit slot indices into a shared
+// arena, and node heights are pre-drawn per slot at construction. Reusing a
+// slot reuses its height; heights are i.i.d. and independent of the values
+// stored, so the expected-O(log q) search bound is preserved.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hpp"
+#include "qmax/entry.hpp"
+
+namespace qmax::baselines {
+
+template <typename Id = std::uint64_t, typename Value = double>
+class SkipListQMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr int kMaxLevel = 28;
+
+  explicit SkipListQMax(std::size_t q, std::uint64_t seed = 0x5eed)
+      : q_(q) {
+    if (q == 0) throw std::invalid_argument("SkipListQMax: q must be positive");
+    if (q >= kNil - 1) {
+      throw std::invalid_argument("SkipListQMax: q exceeds 2^32-2 slots");
+    }
+    // Level cap ~ log2(q) + 2, clamped to kMaxLevel.
+    levels_ = 2;
+    while ((std::size_t{1} << levels_) < q_ && levels_ < kMaxLevel) ++levels_;
+
+    common::Xoshiro256 rng(seed);
+    entries_.resize(q_);
+    heights_.resize(q_);
+    ptr_base_.resize(q_ + 1);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < q_; ++i) {
+      int h = 1;
+      while (h < levels_ && (rng() & 1u)) ++h;  // p = 1/2
+      heights_[i] = static_cast<std::uint8_t>(h);
+      ptr_base_[i] = static_cast<std::uint32_t>(total);
+      total += static_cast<std::size_t>(h);
+    }
+    ptr_base_[q_] = static_cast<std::uint32_t>(total);
+    forward_.resize(total, kNil);
+    head_.fill(kNil);
+    free_list_.reserve(q_);
+    for (std::size_t i = q_; i-- > 0;) {
+      free_list_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return false;
+    if (size_ == q_) {
+      const std::uint32_t min_node = head_[0];
+      if (!(val > entries_[min_node].val)) return false;
+      remove_min();
+    }
+    insert(id, val);
+    return true;
+  }
+
+  /// Exact-replace variant (see HeapQMax::add_replace).
+  std::optional<EntryT> add_replace(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return EntryT{id, val};
+    std::optional<EntryT> evicted;
+    if (size_ == q_) {
+      const std::uint32_t min_node = head_[0];
+      if (!(val > entries_[min_node].val)) return EntryT{id, val};
+      evicted = entries_[min_node];
+      remove_min();
+    }
+    insert(id, val);
+    return evicted;
+  }
+
+  [[nodiscard]] Value threshold() const noexcept {
+    return size_ < q_ ? kEmptyValue<Value> : entries_[head_[0]].val;
+  }
+
+  void query_into(std::vector<EntryT>& out) const {
+    for (std::uint32_t n = head_[0]; n != kNil; n = fwd(n, 0)) {
+      out.push_back(entries_[n]);
+    }
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(size_);
+    query_into(out);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (std::uint32_t n = head_[0]; n != kNil; n = fwd(n, 0)) {
+      fn(entries_[n]);
+    }
+  }
+
+  void reset() noexcept {
+    head_.fill(kNil);
+    free_list_.clear();
+    for (std::size_t i = q_; i-- > 0;) {
+      free_list_.push_back(static_cast<std::uint32_t>(i));
+    }
+    size_ = 0;
+    processed_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return size_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  [[nodiscard]] std::uint32_t& fwd(std::uint32_t node, int level) noexcept {
+    return forward_[ptr_base_[node] + static_cast<std::uint32_t>(level)];
+  }
+  [[nodiscard]] std::uint32_t fwd(std::uint32_t node, int level) const noexcept {
+    return forward_[ptr_base_[node] + static_cast<std::uint32_t>(level)];
+  }
+
+  void insert(Id id, Value val) noexcept {
+    const std::uint32_t node = free_list_.back();
+    free_list_.pop_back();
+    entries_[node] = EntryT{id, val};
+    const int h = heights_[node];
+
+    // Search from the top level, recording the rightmost node < val per
+    // level ("update path"); kNil in update[] means the head pointer.
+    std::uint32_t update[kMaxLevel];
+    std::uint32_t cur = kNil;  // virtual head
+    for (int level = levels_ - 1; level >= 0; --level) {
+      std::uint32_t next = (cur == kNil) ? head_[level] : fwd(cur, level);
+      while (next != kNil && entries_[next].val < val) {
+        cur = next;
+        next = fwd(cur, level);
+      }
+      update[level] = cur;
+    }
+    for (int level = 0; level < h; ++level) {
+      if (update[level] == kNil) {
+        fwd(node, level) = head_[level];
+        head_[level] = node;
+      } else {
+        fwd(node, level) = fwd(update[level], level);
+        fwd(update[level], level) = node;
+      }
+    }
+    ++size_;
+  }
+
+  void remove_min() noexcept {
+    const std::uint32_t node = head_[0];
+    // The global minimum is the first node at level 0, hence also the first
+    // node at every level it participates in: unlink is O(height).
+    const int h = heights_[node];
+    for (int level = 0; level < h; ++level) {
+      head_[level] = fwd(node, level);
+    }
+    free_list_.push_back(node);
+    --size_;
+  }
+
+  std::size_t q_;
+  int levels_ = 2;
+  std::vector<EntryT> entries_;
+  std::vector<std::uint8_t> heights_;
+  std::vector<std::uint32_t> ptr_base_;
+  std::vector<std::uint32_t> forward_;
+  std::array<std::uint32_t, kMaxLevel> head_{};
+  std::vector<std::uint32_t> free_list_;
+  std::size_t size_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace qmax::baselines

@@ -1,0 +1,92 @@
+// Balanced-search-tree baseline (std::multiset, a red-black tree).
+//
+// The third conventional structure the paper's introduction names. Mostly
+// useful as a differential-testing oracle: its semantics are trivially
+// correct, so every other reservoir is checked against it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/entry.hpp"
+
+namespace qmax::baselines {
+
+template <typename Id = std::uint64_t, typename Value = double>
+class SortedQMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+
+  explicit SortedQMax(std::size_t q) : q_(q) {
+    if (q == 0) throw std::invalid_argument("SortedQMax: q must be positive");
+  }
+
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return false;
+    if (set_.size() < q_) {
+      set_.emplace(val, id);
+      return true;
+    }
+    auto lowest = set_.begin();
+    if (!(val > lowest->first)) return false;
+    set_.erase(lowest);
+    set_.emplace(val, id);
+    return true;
+  }
+
+  std::optional<EntryT> add_replace(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val)) return EntryT{id, val};
+    if (set_.size() < q_) {
+      set_.emplace(val, id);
+      return std::nullopt;
+    }
+    auto lowest = set_.begin();
+    if (!(val > lowest->first)) return EntryT{id, val};
+    EntryT evicted{lowest->second, lowest->first};
+    set_.erase(lowest);
+    set_.emplace(val, id);
+    return evicted;
+  }
+
+  [[nodiscard]] Value threshold() const noexcept {
+    return set_.size() < q_ ? kEmptyValue<Value> : set_.begin()->first;
+  }
+
+  void query_into(std::vector<EntryT>& out) const {
+    for (const auto& [val, id] : set_) out.push_back(EntryT{id, val});
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(set_.size());
+    query_into(out);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& [val, id] : set_) fn(EntryT{id, val});
+  }
+
+  void reset() noexcept {
+    set_.clear();
+    processed_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return set_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  std::size_t q_;
+  std::multiset<std::pair<Value, Id>> set_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace qmax::baselines

@@ -1,0 +1,167 @@
+// Exact LRFU cache (Lee et al., IEEE ToC 2001) — the paper's baseline.
+//
+// LRFU scores item x at time t as S(x) = Σ_{i: id_i = x} c^(t−i): a
+// spectrum from LFU (c → 1) to LRU (c → 0⁺). The classic implementation
+// keeps a min-heap over scores; since all stored scores decay by the same
+// factor per time step, their *order* is time-invariant, and we keep the
+// comparison exact over arbitrarily long runs by storing the log-domain
+// weight w(x) = log S(x) − t_last(x)·log(c), which is monotone in the
+// score at any fixed time.
+//
+// On a hit the score update S ← 1 + S·c^(t−t_last) increases the item's
+// weight: a sift-down in the min-heap, O(log q) via a handle map (the
+// paper notes the *std-library* heap cannot sift and degrades to O(q);
+// this implementation is the stronger baseline). On a miss at capacity the
+// heap-min (lowest current score) is evicted.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace qmax::cache {
+
+template <typename Key = std::uint64_t>
+class LrfuCache {
+ public:
+  /// @param capacity number of cached entries (q)
+  /// @param decay    the recency/frequency knob c ∈ (0, 1]
+  LrfuCache(std::size_t capacity, double decay)
+      : capacity_(capacity), log_c_(std::log(decay)) {
+    if (capacity == 0) throw std::invalid_argument("LrfuCache: capacity 0");
+    if (!(decay > 0.0) || decay > 1.0) {
+      throw std::invalid_argument("LrfuCache: decay must be in (0, 1]");
+    }
+    heap_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  /// Process a reference to `key`. Returns true on a cache hit.
+  bool access(Key key) {
+    const std::uint64_t t = t_++;
+    ++accesses_;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      touch(it->second, t);
+      return true;
+    }
+    if (heap_.size() == capacity_) evict_min();
+    insert(key, t);
+    return false;
+  }
+
+  [[nodiscard]] bool contains(Key key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  /// Current LRFU score of a cached key (Σ c^(t−i) over its references);
+  /// 0 if not cached.
+  [[nodiscard]] double score(Key key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return 0.0;
+    return std::exp(heap_[it->second].w +
+                    static_cast<double>(t_) * log_c_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(accesses_);
+  }
+
+  /// Keys of the q currently cached items (unordered).
+  [[nodiscard]] std::vector<Key> keys() const {
+    std::vector<Key> out;
+    out.reserve(heap_.size());
+    for (const Node& n : heap_) out.push_back(n.key);
+    return out;
+  }
+
+  void reset() noexcept {
+    heap_.clear();
+    index_.clear();
+    t_ = 0;
+    hits_ = 0;
+    accesses_ = 0;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    double w;  // log-domain weight: log S − t_last·log c
+  };
+
+  void insert(Key key, std::uint64_t t) {
+    // New item: S = 1, so w = −t·log c.
+    heap_.push_back(Node{key, -static_cast<double>(t) * log_c_});
+    index_[key] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+
+  void touch(std::size_t pos, std::uint64_t t) {
+    // S_new = 1 + S_old·c^(t−t_last); in the log domain the old
+    // contribution is exp(w_old + t·log c). Underflow of a long-stale
+    // score cleanly degrades to S_new = 1.
+    Node& n = heap_[pos];
+    const double old_score = std::exp(n.w + static_cast<double>(t) * log_c_);
+    n.w = std::log(1.0 + old_score) - static_cast<double>(t) * log_c_;
+    sift_down(pos);  // weight only grows: min-heap pushes it down
+  }
+
+  void evict_min() {
+    index_.erase(heap_[0].key);
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      index_[heap_[0].key] = 0;
+      sift_down(0);
+    }
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    Node v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(v.w < heap_[parent].w)) break;
+      heap_[i] = heap_[parent];
+      index_[heap_[i].key] = i;
+      i = parent;
+    }
+    heap_[i] = v;
+    index_[v.key] = i;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    Node v = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].w < heap_[child].w) ++child;
+      if (!(heap_[child].w < v.w)) break;
+      heap_[i] = heap_[child];
+      index_[heap_[i].key] = i;
+      i = child;
+    }
+    heap_[i] = v;
+    index_[v.key] = i;
+  }
+
+  std::size_t capacity_;
+  double log_c_;
+  std::vector<Node> heap_;
+  std::unordered_map<Key, std::size_t> index_;
+  std::uint64_t t_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace qmax::cache

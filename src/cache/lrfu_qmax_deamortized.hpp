@@ -1,0 +1,251 @@
+// Deamortized q-MAX LRFU — the worst-case O(1/γ) cache of Section 5.1 /
+// Figure 3 of the paper.
+//
+// The amortized LrfuQMaxCache stalls for O(q) once per ⌈qγ⌉ accesses while
+// it merges duplicates and selects survivors. This variant spreads all of
+// that across individual accesses, mirroring the paper's three-interval
+// scheme (Large / Small / New) on the same array geometry as QMax
+// (N = q + 2g slots, alternating parity):
+//
+//  * Selection is incremental: each access that appends an array claim
+//    also advances a budgeted quickselect over the frozen candidate
+//    region (common/select.hpp) — the paper's Part 1.
+//  * Duplicate merging is in place: the authoritative log-domain score of
+//    every cached key lives in the hash map; an access whose key already
+//    has a claim in the *current scratch* region updates that slot
+//    directly (scratch slots are never permuted mid-iteration), so each
+//    key contributes at most one new claim per iteration — the paper's
+//    Part 2 merge, done eagerly instead of by scanning.
+//  * Eviction is lazy: when an iteration ends, the losing region simply
+//    becomes the next scratch region; each loser slot is reconciled
+//    against the map at the moment it is overwritten — one reconciliation
+//    per access, never a batch walk.
+//
+// A key may leave behind stale claims (older, strictly smaller scores) in
+// the candidate region when it is re-inserted; eviction reconciliation
+// ignores them (the map records the score of the key's *latest* claim),
+// and they sink below the threshold Ψ and recycle within a few
+// iterations. As in the paper, the number of cached keys floats between
+// q and q(1+γ)-ish; the q keys with the largest scores among the claims
+// are never evicted.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/select.hpp"
+#include "qmax/entry.hpp"
+
+namespace qmax::cache {
+
+template <typename Key = std::uint64_t>
+class LrfuQMaxCacheDeamortized {
+ public:
+  LrfuQMaxCacheDeamortized(std::size_t q, double decay, double gamma = 0.25,
+                           unsigned budget_factor = 4)
+      : q_(q), log_c_(std::log(decay)) {
+    if (q == 0) {
+      throw std::invalid_argument("LrfuQMaxCacheDeamortized: q must be > 0");
+    }
+    if (!(decay > 0.0) || decay > 1.0) {
+      throw std::invalid_argument(
+          "LrfuQMaxCacheDeamortized: decay must be in (0, 1]");
+    }
+    if (!(gamma > 0.0)) {
+      throw std::invalid_argument(
+          "LrfuQMaxCacheDeamortized: gamma must be positive");
+    }
+    gamma_ = gamma;
+    g_ = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma / 2.0));
+    if (g_ == 0) g_ = 1;
+    arr_.assign(q_ + 2 * g_, Claim{Key{}, kEmptyValue<double>});
+    const std::size_t m = q_ + g_;
+    step_budget_ = static_cast<std::uint64_t>(budget_factor) *
+                       ((m + g_ - 1) / g_) +
+                   budget_factor;
+    index_.reserve(arr_.size() * 2);
+    begin_iteration();
+  }
+
+  /// Process a reference; returns true on a hit. Worst-case O(1/γ) plus
+  /// one O(1) hash-map operation.
+  bool access(Key key) {
+    ++accesses_;
+    const double now_w = -static_cast<double>(t_++) * log_c_;
+    auto it = index_.find(key);
+    const bool hit = it != index_.end();
+    if (hit) ++hits_;
+
+    // New authoritative score: S ← 1 + S·c^Δ, in the log domain:
+    // w_new = logaddexp(w_old, −t·log c).
+    double w_new = now_w;
+    if (hit) {
+      const double hi = it->second.w > now_w ? it->second.w : now_w;
+      const double lo = it->second.w > now_w ? now_w : it->second.w;
+      w_new = hi + std::log1p(std::exp(lo - hi));
+    }
+
+    if (hit && it->second.claim_iter == iteration_) {
+      // In-place merge (Part 2): the key's claim is in the current
+      // scratch region, which select never touches. The array claim stays
+      // authoritative (claim_w tracks it) so eviction reconciliation can
+      // still recognize it as the key's latest.
+      it->second.w = w_new;
+      it->second.claim_w = w_new;
+      arr_[it->second.claim_slot].w = w_new;
+      return hit;
+    }
+    if (hit && it->second.claim_w > psi_) {
+      // The resident claim still clears the admission bound: it safely
+      // lower-bounds the key. Update the map only.
+      it->second.w = w_new;
+      return hit;
+    }
+    // Fresh claim (miss, or resident claim at risk of eviction).
+    const std::size_t slot = scratch_base() + steps_;
+    reconcile_overwrite(slot);  // lazy eviction of last iteration's loser
+    arr_[slot] = Claim{key, w_new};
+    index_[key] = Info{w_new, w_new, iteration_, slot};
+    ++steps_;
+    advance_selection();
+    if (steps_ == g_) end_iteration();
+    return hit;
+  }
+
+  [[nodiscard]] bool contains(Key key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  /// Current LRFU score of a cached key; O(1).
+  [[nodiscard]] double score(Key key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return 0.0;
+    return std::exp(it->second.w + static_cast<double>(t_) * log_c_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(accesses_);
+  }
+  /// Iterations whose selection needed the synchronous safety net.
+  [[nodiscard]] std::uint64_t late_selections() const noexcept {
+    return late_selections_;
+  }
+
+  void reset() {
+    arr_.assign(arr_.size(), Claim{Key{}, kEmptyValue<double>});
+    index_.clear();
+    t_ = 0;
+    hits_ = 0;
+    accesses_ = 0;
+    steps_ = 0;
+    psi_ = kEmptyValue<double>;
+    parity_a_ = true;
+    iteration_ = 0;
+    begin_iteration();
+  }
+
+ private:
+  struct Claim {
+    Key key;
+    double w;  // log-domain score at claim time; kEmptyValue = free slot
+  };
+  struct Info {
+    double w;                  // authoritative score (log domain)
+    double claim_w;            // score recorded in the latest array claim
+    std::uint64_t claim_iter;  // iteration the claim was appended in
+    std::size_t claim_slot;    // valid only while claim_iter == iteration_
+  };
+  struct ClaimOrder {
+    bool descending = false;
+    [[nodiscard]] bool operator()(const Claim& a,
+                                  const Claim& b) const noexcept {
+      return descending ? b.w < a.w : a.w < b.w;
+    }
+  };
+
+  [[nodiscard]] std::size_t scratch_base() const noexcept {
+    return parity_a_ ? q_ + g_ : 0;
+  }
+  [[nodiscard]] std::size_t candidate_base() const noexcept {
+    return parity_a_ ? 0 : g_;
+  }
+
+  void begin_iteration() {
+    const std::size_t m = q_ + g_;
+    const bool desc = !parity_a_;
+    const std::size_t k = parity_a_ ? g_ : q_ - 1;
+    select_.start(arr_.data() + candidate_base(), m, k,
+                  ClaimOrder{.descending = desc});
+    psi_applied_ = false;
+  }
+
+  void advance_selection() {
+    if (select_.done()) return;
+    if (select_.step(step_budget_)) apply_new_threshold();
+  }
+
+  void apply_new_threshold() {
+    if (psi_applied_) return;
+    const double nth = select_.nth().w;
+    if (nth > psi_) psi_ = nth;
+    psi_applied_ = true;
+  }
+
+  void end_iteration() {
+    if (!select_.done()) {
+      ++late_selections_;
+      select_.finish();
+    }
+    apply_new_threshold();
+    // No eviction walk: the losing region becomes the next scratch and is
+    // reconciled slot-by-slot as it is overwritten.
+    parity_a_ = !parity_a_;
+    steps_ = 0;
+    ++iteration_;
+    begin_iteration();
+  }
+
+  void reconcile_overwrite(std::size_t slot) {
+    Claim& old = arr_[slot];
+    if (old.w == kEmptyValue<double>) return;
+    auto it = index_.find(old.key);
+    // Evict only if this claim is the key's latest one; stale (smaller)
+    // claims of a re-inserted key are dropped silently.
+    if (it != index_.end() && it->second.claim_w == old.w) {
+      index_.erase(it);
+    }
+    old.w = kEmptyValue<double>;
+  }
+
+  std::size_t q_;
+  double log_c_;
+  double gamma_ = 0.0;
+  std::size_t g_ = 0;
+  std::vector<Claim> arr_;
+  std::unordered_map<Key, Info> index_;
+  double psi_ = kEmptyValue<double>;
+  bool parity_a_ = true;
+  bool psi_applied_ = false;
+  std::uint64_t iteration_ = 0;
+  std::size_t steps_ = 0;
+  std::uint64_t t_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t step_budget_ = 0;
+  std::uint64_t late_selections_ = 0;
+  common::IncrementalSelect<Claim, ClaimOrder> select_;
+};
+
+}  // namespace qmax::cache

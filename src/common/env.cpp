@@ -1,0 +1,46 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace qmax::common {
+namespace {
+
+double parse_env_double(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  if (end == v || !(x > 0.0)) return fallback;
+  return x;
+}
+
+}  // namespace
+
+double bench_scale() noexcept {
+  static const double s = parse_env_double("QMAX_BENCH_SCALE", 1.0);
+  return s;
+}
+
+bool bench_large() noexcept {
+  static const bool large = [] {
+    const char* v = std::getenv("QMAX_BENCH_LARGE");
+    return v != nullptr && v[0] == '1';
+  }();
+  return large;
+}
+
+int bench_reps() noexcept {
+  static const int reps =
+      std::max(1, static_cast<int>(parse_env_double("QMAX_BENCH_REPS", 3.0)));
+  return reps;
+}
+
+std::uint64_t scaled(std::uint64_t base) noexcept {
+  const double x = std::round(static_cast<double>(base) * bench_scale());
+  return x < 1.0 ? 1 : static_cast<std::uint64_t>(x);
+}
+
+}  // namespace qmax::common

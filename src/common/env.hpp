@@ -1,0 +1,22 @@
+// Benchmark-harness environment knobs.
+//
+// Every bench binary honours:
+//   QMAX_BENCH_SCALE  — float multiplier on stream lengths (default 1.0;
+//                       the paper uses 150M-item streams, our default is a
+//                       laptop-friendly fraction declared per benchmark)
+//   QMAX_BENCH_LARGE  — "1" enables the q = 10^7 data points
+//   QMAX_BENCH_REPS   — repetitions per data point (default 3; paper: 10)
+#pragma once
+
+#include <cstdint>
+
+namespace qmax::common {
+
+[[nodiscard]] double bench_scale() noexcept;
+[[nodiscard]] bool bench_large() noexcept;
+[[nodiscard]] int bench_reps() noexcept;
+
+/// items = max(1, round(base * bench_scale()))
+[[nodiscard]] std::uint64_t scaled(std::uint64_t base) noexcept;
+
+}  // namespace qmax::common

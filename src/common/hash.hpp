@@ -1,0 +1,58 @@
+// Self-contained 64-bit hashing for flow keys and packet identifiers.
+//
+// The measurement applications in this library (count-distinct, bottom-k,
+// network-wide heavy hitters) all rely on a hash that behaves like a uniform
+// random function over [0, 2^64). We implement XXH64 (public-domain
+// algorithm) plus small utilities for mixing and mapping hashes into [0,1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace qmax::common {
+
+/// XXH64 over an arbitrary byte buffer.
+[[nodiscard]] std::uint64_t xxhash64(const void* data, std::size_t len,
+                                     std::uint64_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint64_t xxhash64(std::string_view s,
+                                            std::uint64_t seed = 0) noexcept {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+[[nodiscard]] inline std::uint64_t xxhash64(std::span<const std::byte> s,
+                                            std::uint64_t seed = 0) noexcept {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+/// Strong avalanche mix of a single 64-bit word (splitmix64 finalizer).
+/// Cheaper than xxhash64 for fixed-width keys; used on the packet fast path.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash a 64-bit key under a seed; distinct seeds give (empirically)
+/// independent hash functions, which is what the sketches require.
+[[nodiscard]] constexpr std::uint64_t hash64(std::uint64_t key,
+                                             std::uint64_t seed = 0) noexcept {
+  return mix64(key ^ mix64(seed));
+}
+
+/// Map a 64-bit hash to a double uniform in [0,1). Uses the top 53 bits so
+/// the result is exactly representable and never 1.0.
+[[nodiscard]] constexpr double to_unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Uniform (0,1] variant — never returns 0, so it is safe as a divisor
+/// (priority sampling computes weight / rank).
+[[nodiscard]] constexpr double to_unit_interval_open0(std::uint64_t h) noexcept {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace qmax::common

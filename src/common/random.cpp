@@ -1,0 +1,23 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace qmax::common {
+
+double normal(Xoshiro256& rng) noexcept {
+  // Marsaglia polar method; accepts ~78.5% of candidate pairs.
+  for (;;) {
+    const double u = 2.0 * rng.uniform() - 1.0;
+    const double v = 2.0 * rng.uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double exponential(Xoshiro256& rng, double lambda) noexcept {
+  return -std::log(rng.uniform_open0()) / lambda;
+}
+
+}  // namespace qmax::common

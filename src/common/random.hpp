@@ -1,0 +1,78 @@
+// Fast, reproducible pseudo-random number generation.
+//
+// Benchmarks and trace generators must be deterministic given a seed (the
+// paper reports means over ten repetitions; our harness re-runs with seeds
+// 0..9). std::mt19937_64 is adequate but slow on the packet-generation fast
+// path, so we use xoshiro256** (Blackman & Vigna), the generator used by
+// most modern runtimes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.hpp"
+
+namespace qmax::common {
+
+/// xoshiro256** 1.0 — 256-bit state, period 2^256-1, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 of `seed` (never all-zero).
+  explicit constexpr Xoshiro256(std::uint64_t seed = 1) noexcept {
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      w = mix64(x);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0,1).
+  constexpr double uniform() noexcept { return to_unit_interval((*this)()); }
+
+  /// Uniform double in (0,1] — safe as a divisor.
+  constexpr double uniform_open0() noexcept {
+    return to_unit_interval_open0((*this)());
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// simplified: 128-bit multiply keeps the fast path branch-free).
+  constexpr std::uint64_t bounded(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    const auto x = (*this)();
+    return static_cast<std::uint64_t>((static_cast<u128>(x) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Standard-normal variate via Marsaglia polar method (used by the
+/// synthetic latency / jitter models in the trace generators).
+[[nodiscard]] double normal(Xoshiro256& rng) noexcept;
+
+/// Exponential variate with rate `lambda` (inter-arrival gaps).
+[[nodiscard]] double exponential(Xoshiro256& rng, double lambda) noexcept;
+
+}  // namespace qmax::common

@@ -1,0 +1,55 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qmax::common {
+
+double t_critical_99(std::size_t dof) noexcept {
+  // Two-sided 99% (alpha = 0.01) critical values, dof = 1..30.
+  static constexpr double kTable[] = {
+      63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+      3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+      2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  return 2.576;  // normal approximation
+}
+
+Summary summarize(std::span<const double> samples) noexcept {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  RunningStats acc;
+  for (double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  if (s.n > 1) {
+    s.ci99_half =
+        t_critical_99(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace qmax::common

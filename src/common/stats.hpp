@@ -1,0 +1,49 @@
+// Summary statistics for the benchmark harness.
+//
+// The paper runs every data point ten times and reports the mean with 99%
+// confidence intervals from Student's t distribution; we reproduce that
+// reporting convention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qmax::common {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation (n-1 denominator)
+  double ci99_half = 0.0; // half-width of the 99% Student-t CI
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Mean / stddev / 99% Student-t confidence interval of a sample.
+[[nodiscard]] Summary summarize(std::span<const double> samples) noexcept;
+
+/// Two-sided Student-t critical value at 99% confidence for `dof` degrees
+/// of freedom (table-driven for dof <= 30, normal approximation beyond).
+[[nodiscard]] double t_critical_99(std::size_t dof) noexcept;
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace qmax::common

@@ -1,0 +1,57 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qmax::common {
+namespace {
+
+// exp(x*ln(v))-1 / x*ln(v), numerically stable near x -> 0.
+[[nodiscard]] double helper1(double x) noexcept {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0;
+}
+
+// (exp(x)-1)/x inverse helper: log1p(x)/x, stable near 0.
+[[nodiscard]] double helper2(double x) noexcept {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfGenerator: s must be >= 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  dist_ = h_n_ - h_x1_;
+}
+
+double ZipfGenerator::h(double x) const noexcept {
+  const double log_x = std::log(x);
+  return helper1((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h_inverse(double x) const noexcept {
+  const double t = x * (1.0 - s_);
+  return std::exp(helper2(t) * x);
+}
+
+std::uint64_t ZipfGenerator::operator()(Xoshiro256& rng) const noexcept {
+  // Rejection-inversion main loop; expected < 2 iterations for all s.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (-dist_);  // in (h_x1_, h_n_]
+    const double x = h_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= 1.0 - helper2(std::log(kd) * (1.0 - s_)) ||
+        u >= h(kd + 0.5) - std::exp(-std::log(kd) * s_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace qmax::common

@@ -1,0 +1,42 @@
+// Zipf-distributed integer generation.
+//
+// Internet flow popularity is famously heavy-tailed; the CAIDA traces the
+// paper evaluates on are well modelled by a Zipf(s≈1.0-1.1) distribution
+// over the flow-key space. Naive inversion costs O(n) per sample, so we use
+// rejection-inversion (W. Hörmann & G. Derflinger, "Rejection-inversion to
+// generate variates from monotone discrete distributions", TOMACS 1996),
+// which samples in O(1) expected time for any exponent s >= 0, s != 1
+// handled via the limit forms.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+
+namespace qmax::common {
+
+/// Samples k in [1, n] with P(k) proportional to 1 / k^s.
+class ZipfGenerator {
+ public:
+  /// @param n number of distinct values (>= 1)
+  /// @param s skew exponent (>= 0; s = 0 degenerates to uniform)
+  ZipfGenerator(std::uint64_t n, double s);
+
+  /// Draw one variate in [1, n].
+  [[nodiscard]] std::uint64_t operator()(Xoshiro256& rng) const noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double s() const noexcept { return s_; }
+
+ private:
+  [[nodiscard]] double h(double x) const noexcept;          // integral of pmf envelope
+  [[nodiscard]] double h_inverse(double x) const noexcept;  // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dist_;  // h_n_ - h_x1_
+};
+
+}  // namespace qmax::common

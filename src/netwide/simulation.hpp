@@ -1,0 +1,80 @@
+// Network-wide measurement simulation: one NMP per switch, packets
+// observed at every hop of their route, a controller merging the reports
+// (paper §2.6). The point the simulation makes testable is *routing
+// obliviousness*: the controller's merged sample is a function of the
+// packet population alone — duplicate observations collapse by packet id —
+// so any topology/routing that sees every packet at least once produces
+// the same network-wide answer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/nwhh.hpp"
+#include "netwide/topology.hpp"
+#include "qmax/concepts.hpp"
+
+namespace qmax::netwide {
+
+template <Reservoir R>
+  requires std::same_as<typename R::EntryT, apps::NwhhEntry>
+class NetwideSimulation {
+ public:
+  /// @param topo    the switch topology
+  /// @param k       per-NMP sample size
+  /// @param factory constructs each NMP's reservoir (q = k)
+  /// @param seed    shared hash seed — all NMPs must agree on it
+  template <typename Factory>
+  NetwideSimulation(Topology topo, std::size_t k, Factory&& factory,
+                    std::uint64_t seed = 0)
+      : topo_(std::move(topo)), k_(k) {
+    nmps_.reserve(topo_.node_count());
+    for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+      nmps_.emplace_back(k, factory(), seed);
+    }
+  }
+
+  /// Route one packet from `src` to `dst`; every on-path NMP observes it.
+  /// Returns the hop count (0 if unreachable — the packet is lost and no
+  /// NMP sees it).
+  std::size_t inject(std::uint64_t packet_id, std::uint64_t flow, NodeId src,
+                     NodeId dst) {
+    const auto route = topo_.path(src, dst);
+    for (NodeId hop : route) nmps_[hop].observe(packet_id, flow);
+    ++injected_;
+    observations_ += route.size();
+    return route.size();
+  }
+
+  /// Observe at one explicit node (for mirror/tap-style deployments).
+  void observe_at(NodeId node, std::uint64_t packet_id, std::uint64_t flow) {
+    nmps_.at(node).observe(packet_id, flow);
+    ++observations_;
+  }
+
+  /// Collect every NMP's report into a fresh controller.
+  [[nodiscard]] apps::NwhhController collect() const {
+    apps::NwhhController ctl(k_);
+    for (const auto& nmp : nmps_) ctl.collect(nmp);
+    return ctl;
+  }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t injected() const noexcept { return injected_; }
+  /// Total per-hop observations — the redundancy the controller dedups.
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] apps::Nmp<R>& nmp(NodeId n) { return nmps_.at(n); }
+
+ private:
+  Topology topo_;
+  std::size_t k_;
+  std::vector<apps::Nmp<R>> nmps_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace qmax::netwide

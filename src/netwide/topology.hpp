@@ -1,0 +1,113 @@
+// Network topology + shortest-path routing for the network-wide
+// measurement simulations (paper §2.6: multiple NMPs, arbitrary routing
+// and topology, each packet seen by the NMPs on its path).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace qmax::netwide {
+
+using NodeId = std::size_t;
+
+class Topology {
+ public:
+  NodeId add_node() {
+    adj_.emplace_back();
+    return adj_.size() - 1;
+  }
+
+  void add_link(NodeId a, NodeId b) {
+    if (a >= adj_.size() || b >= adj_.size() || a == b) {
+      throw std::invalid_argument("Topology: bad link endpoints");
+    }
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const {
+    return adj_.at(n);
+  }
+
+  /// BFS shortest path from `src` to `dst`, inclusive of both endpoints.
+  /// Empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path(NodeId src, NodeId dst) const {
+    if (src >= adj_.size() || dst >= adj_.size()) return {};
+    if (src == dst) return {src};
+    std::vector<NodeId> parent(adj_.size(), kNone);
+    std::queue<NodeId> frontier;
+    parent[src] = src;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop();
+      for (NodeId next : adj_[cur]) {
+        if (parent[next] != kNone) continue;
+        parent[next] = cur;
+        if (next == dst) {
+          std::vector<NodeId> p{dst};
+          for (NodeId at = dst; at != src; at = parent[at]) {
+            p.push_back(parent[at]);
+          }
+          std::reverse(p.begin(), p.end());
+          return p;
+        }
+        frontier.push(next);
+      }
+    }
+    return {};
+  }
+
+  // --- Canned shapes ------------------------------------------------------
+
+  /// n nodes in a chain: 0 — 1 — ... — n-1.
+  [[nodiscard]] static Topology line(std::size_t n) {
+    Topology t;
+    for (std::size_t i = 0; i < n; ++i) t.add_node();
+    for (std::size_t i = 1; i < n; ++i) t.add_link(i - 1, i);
+    return t;
+  }
+
+  /// Hub node 0 with `leaves` spokes.
+  [[nodiscard]] static Topology star(std::size_t leaves) {
+    Topology t;
+    t.add_node();
+    for (std::size_t i = 0; i < leaves; ++i) {
+      const NodeId leaf = t.add_node();
+      t.add_link(0, leaf);
+    }
+    return t;
+  }
+
+  /// Ring of n nodes.
+  [[nodiscard]] static Topology ring(std::size_t n) {
+    Topology t = line(n);
+    if (n > 2) t.add_link(n - 1, 0);
+    return t;
+  }
+
+  /// Random connected graph: a spanning chain plus `extra` random links.
+  [[nodiscard]] static Topology random_connected(std::size_t n,
+                                                 std::size_t extra,
+                                                 std::uint64_t seed) {
+    Topology t = line(n);
+    common::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < extra; ++i) {
+      const NodeId a = rng.bounded(n);
+      const NodeId b = rng.bounded(n);
+      if (a != b) t.add_link(a, b);
+    }
+    return t;
+  }
+
+ private:
+  static constexpr NodeId kNone = ~std::size_t{0};
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace qmax::netwide

@@ -1,0 +1,123 @@
+// Amortized q-MAX — the simpler O(1) *amortized* variant Algorithm 1 is
+// deamortized from (Section 4.2: "this operates in O(1) amortized
+// complexity").
+//
+// Keep an array of q + G slots (G = ⌈qγ⌉). Admit items above Ψ into the
+// free suffix; when the array fills, one maintenance pass runs a full
+// nth_element (descending, at q-1), raises Ψ to the q-th largest, and
+// batch-evicts the G losers. Maintenance costs O(q + G) once per G
+// admissions — O(1/γ) amortized — but an individual update can stall for
+// the whole pass; the deamortized QMax exists to remove exactly that stall.
+// Kept as a production option (slightly faster in steady state; the
+// bench_abl_deamortization ablation quantifies the gap) and as a reference
+// implementation for differential testing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/entry.hpp"
+
+namespace qmax {
+
+template <typename Id = std::uint64_t, typename Value = double>
+class AmortizedQMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+  using EvictCallback = std::function<void(const EntryT&)>;
+
+  explicit AmortizedQMax(std::size_t q, double gamma = 0.25) : q_(q) {
+    if (q == 0) throw std::invalid_argument("AmortizedQMax: q must be positive");
+    if (!(gamma > 0.0)) {
+      throw std::invalid_argument("AmortizedQMax: gamma must be positive");
+    }
+    gamma_ = gamma;
+    std::size_t extra = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma));
+    if (extra == 0) extra = 1;
+    arr_.reserve(q_ + extra);
+    cap_ = q_ + extra;
+  }
+
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val) || !(val > psi_)) return false;
+    ++admitted_;
+    arr_.push_back(EntryT{id, val});
+    if (arr_.size() == cap_) maintain();
+    return true;
+  }
+
+  [[nodiscard]] Value threshold() const noexcept { return psi_; }
+
+  void query_into(std::vector<EntryT>& out) const {
+    const std::size_t take = std::min(q_, arr_.size());
+    if (take == 0) return;
+    scratch_ = arr_;
+    if (take < scratch_.size()) {
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
+                       scratch_.end(),
+                       ValueOrder<Id, Value>{.descending = true});
+    }
+    out.insert(out.end(), scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(q_);
+    query_into(out);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& e : arr_) fn(e);
+  }
+
+  void reset() noexcept {
+    arr_.clear();
+    psi_ = kEmptyValue<Value>;
+    processed_ = 0;
+    admitted_ = 0;
+  }
+
+  void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+
+ private:
+  void maintain() {
+    std::nth_element(arr_.begin(),
+                     arr_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
+                     arr_.end(), ValueOrder<Id, Value>{.descending = true});
+    psi_ = std::max(psi_, arr_[q_ - 1].val);
+    if (on_evict_) {
+      for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
+    }
+    arr_.resize(q_);
+  }
+
+  std::size_t q_;
+  double gamma_ = 0.0;
+  std::size_t cap_ = 0;
+  std::vector<EntryT> arr_;
+  Value psi_ = kEmptyValue<Value>;
+  std::uint64_t processed_ = 0;
+  std::uint64_t admitted_ = 0;
+  EvictCallback on_evict_;
+  mutable std::vector<EntryT> scratch_;
+};
+
+}  // namespace qmax

@@ -1,0 +1,31 @@
+// The q-MAX interface as a C++20 concept.
+//
+// Everything in src/apps/ is templated on a Reservoir so the paper's
+// apples-to-apples comparison ("the exact same implementation for all
+// alternatives, only the Heap/SkipList replaced with q-MAX") is enforced by
+// the type system rather than by discipline.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+namespace qmax {
+
+template <typename R>
+concept Reservoir = requires(R r, const R cr,
+                             typename R::EntryT entry,
+                             std::vector<typename R::EntryT> out) {
+  // Report an item; returns whether it was admitted.
+  { r.add(entry.id, entry.val) } -> std::convertible_to<bool>;
+  // List the q largest items (the q-MAX "query" method).
+  cr.query_into(out);
+  { cr.query() } -> std::convertible_to<std::vector<typename R::EntryT>>;
+  // Capacity parameter and bookkeeping.
+  { cr.q() } -> std::convertible_to<std::size_t>;
+  { cr.live_count() } -> std::convertible_to<std::size_t>;
+  // Forget all state (sliding-window blocks recycle instances).
+  r.reset();
+};
+
+}  // namespace qmax

@@ -1,0 +1,54 @@
+// The (id, value) item type shared by every reservoir in this library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace qmax {
+
+/// A stream item: an identifier (flow key, packet id, cache key...) paired
+/// with a value from a totally ordered domain (priority, hash, score...).
+template <typename Id, typename Value>
+struct BasicEntry {
+  Id id{};
+  Value val{};
+
+  friend constexpr bool operator==(const BasicEntry&,
+                                   const BasicEntry&) = default;
+};
+
+/// The instantiation used throughout the measurement applications:
+/// 64-bit flow keys with double-precision priorities.
+using Entry = BasicEntry<std::uint64_t, double>;
+
+/// The reserved "empty slot" value. Items carrying exactly this value are
+/// treated as non-existent by the array-based reservoirs (they compare
+/// below every admissible item); callers must not insert it.
+template <typename Value>
+inline constexpr Value kEmptyValue = std::numeric_limits<Value>::lowest();
+
+/// Comparator over entry values with a runtime direction flag. The q-MAX
+/// array alternates the selection direction between iteration parities so
+/// that the surviving top-q always lands in the middle of the array; the
+/// flag costs one predictable branch per comparison.
+template <typename Id, typename Value>
+struct ValueOrder {
+  bool descending = false;
+  [[nodiscard]] constexpr bool operator()(
+      const BasicEntry<Id, Value>& a,
+      const BasicEntry<Id, Value>& b) const noexcept {
+    return descending ? b.val < a.val : a.val < b.val;
+  }
+};
+
+/// True if `val` is admissible (not NaN, not the reserved empty value).
+template <typename Value>
+[[nodiscard]] constexpr bool is_admissible_value(Value val) noexcept {
+  if constexpr (std::is_floating_point_v<Value>) {
+    if (val != val) return false;  // NaN: would corrupt selection invariants
+  }
+  return val != kEmptyValue<Value>;
+}
+
+}  // namespace qmax

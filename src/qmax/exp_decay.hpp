@@ -1,0 +1,92 @@
+// Exponential-Decay q-MAX (Section 5 of the paper).
+//
+// Under the exponential-decay aging model with parameter c ∈ (0, 1], the
+// weight of item (id_i, val_i) at time t is val_i · c^(t−i): every arrival
+// multiplicatively ages all previous items. The paper's reduction: instead
+// of aging stored items (O(q) per arrival), feed val_i · c^(−i) into a
+// standard q-MAX — the *order* of weights is time-invariant. Computing
+// c^(−i) directly overflows (c = 0.9, i = 100M), so we work in the log
+// domain: store val'_i = log(val_i) − i·log(c), which is exact up to
+// rounding and monotone in the true decayed weight.
+//
+// c = 1 recovers plain q-MAX (on log-values); smaller c weighs recency
+// more. The LRFU cache (src/cache/) builds on the same log-domain trick
+// with per-key score aggregation.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/entry.hpp"
+#include "qmax/qmax.hpp"
+
+namespace qmax {
+
+template <typename Id = std::uint64_t>
+class ExpDecayQMax {
+ public:
+  using EntryT = BasicEntry<Id, double>;
+
+  /// @param q      reservoir size
+  /// @param decay  the aging parameter c ∈ (0, 1]
+  /// @param gamma  q-MAX space-time tradeoff
+  ExpDecayQMax(std::size_t q, double decay, double gamma = 0.25)
+      : inner_(q, gamma), log_c_(std::log(decay)) {
+    if (!(decay > 0.0) || decay > 1.0) {
+      throw std::invalid_argument("ExpDecayQMax: decay must be in (0, 1]");
+    }
+  }
+
+  /// Report an item with positive weight `val`; arrival index is the
+  /// logical time. Returns false if the item cannot be among the q
+  /// heaviest (or val is not a positive finite number).
+  bool add(Id id, double val) {
+    const std::uint64_t i = t_++;
+    if (!(val > 0.0) || !std::isfinite(val)) return false;
+    const double keyed = std::log(val) - static_cast<double>(i) * log_c_;
+    return inner_.add(id, keyed);
+  }
+
+  /// The q items with the largest decayed weight val·c^(t−i), reported
+  /// with their *current* weights. Weights of very old items can
+  /// underflow to 0.0; their relative order is still correct.
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out = query_log();
+    for (EntryT& e : out) e.val = std::exp(e.val);
+    return out;
+  }
+
+  /// Same as query() but weights stay in the log domain (no underflow).
+  [[nodiscard]] std::vector<EntryT> query_log() const {
+    std::vector<EntryT> out;
+    inner_.query_into(out);
+    const double now_shift = static_cast<double>(t_) * log_c_;
+    for (EntryT& e : out) e.val += now_shift;
+    return out;
+  }
+
+  void reset() {
+    inner_.reset();
+    t_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return inner_.q(); }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return inner_.live_count();
+  }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return t_; }
+  [[nodiscard]] double decay() const noexcept { return std::exp(log_c_); }
+
+  [[nodiscard]] const QMax<Id, double>& inner() const noexcept {
+    return inner_;
+  }
+
+ private:
+  QMax<Id, double> inner_;
+  double log_c_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace qmax

@@ -1,0 +1,244 @@
+// q-MAX — Algorithm 1 of the paper: a reservoir of the q largest stream
+// items with O(q(1+γ)) space and worst-case O(1/γ) update time.
+//
+// Layout. The array has N = q + 2g slots, g = max(1, ⌈qγ/2⌉):
+//
+//     parity A:  [ losers/scratch g | middle q | scratch g ]
+//                 `--- candidates [0, q+g) --'  `- inserts -'
+//     parity B:  [ scratch g | middle q | losers/scratch g ]
+//                 `- inserts' `--- candidates [g, N) ------'
+//
+// An *iteration* spans g admitted items. Admitted items (value > Ψ) are
+// written into the scratch region; each admission also advances an
+// incremental selection over the (stable) candidate region by a bounded
+// operation budget — the paper's SelectStep/PivotStep, fused here into one
+// nth_element-style pass (see common/select.hpp). The selection orders the
+// candidates so the q largest occupy the middle [g, g+q); its nth element
+// *is* the new q-th-largest bound Ψ. When the iteration's g admissions
+// complete, the g losing slots are batch-evicted and the parity flips, so
+// the next candidate region (middle + freshly filled scratch) is again
+// contiguous.
+//
+// Invariant: an item is evicted only while q candidates at least as large
+// coexist in the array, so the true top-q of the processed prefix always
+// survives — query() is exact, not approximate.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/select.hpp"
+#include "qmax/entry.hpp"
+
+namespace qmax {
+
+template <typename Id = std::uint64_t, typename Value = double>
+class QMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+  /// Invoked once per batch-evicted live item (PBA and the LRFU cache use
+  /// this to keep their side tables in sync with the reservoir).
+  using EvictCallback = std::function<void(const EntryT&)>;
+
+  struct Options {
+    /// Space-time tradeoff: the array holds ~q(1+γ) items and each update
+    /// performs O(1/γ) work. The paper sweeps γ from 2.5% to 200%.
+    double gamma = 0.25;
+    /// Safety factor on the per-step selection budget. The selection needs
+    /// ~2-3(q+g) expected ops per iteration of g steps; budget_factor
+    /// scales the per-step allowance above that expectation.
+    unsigned budget_factor = 4;
+  };
+
+  explicit QMax(std::size_t q, double gamma) : QMax(q, Options{.gamma = gamma}) {}
+
+  explicit QMax(std::size_t q, Options opts = {})
+      : q_(q), opts_(opts) {
+    if (q == 0) throw std::invalid_argument("QMax: q must be positive");
+    if (!(opts.gamma > 0.0)) {
+      throw std::invalid_argument("QMax: gamma must be positive");
+    }
+    g_ = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * opts.gamma / 2.0));
+    if (g_ == 0) g_ = 1;
+    arr_.resize(q_ + 2 * g_, EntryT{Id{}, kEmptyValue<Value>});
+    const std::size_t m = q_ + g_;
+    step_budget_ = static_cast<std::uint64_t>(opts.budget_factor) *
+                       ((m + g_ - 1) / g_) +
+                   opts.budget_factor;
+    begin_iteration();
+  }
+
+  /// Report a stream item. Returns true if it was admitted into the array
+  /// (false: it was below the admission bound Ψ and cannot be in the top q,
+  /// or its value is inadmissible — NaN / the reserved empty value).
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val) || !(val > psi_)) return false;
+    ++admitted_;
+    arr_[scratch_base() + steps_] = EntryT{id, val};
+    ++live_;
+    ++steps_;
+    advance_selection();
+    if (steps_ == g_) end_iteration();
+    return true;
+  }
+
+  /// The current admission bound: a monotone lower bound on the q-th
+  /// largest value processed so far (−∞ until the array first fills).
+  [[nodiscard]] Value threshold() const noexcept { return psi_; }
+
+  /// Append the q largest live items (fewer if the stream is shorter than
+  /// q) to `out`, unordered. O(capacity) time, non-destructive.
+  void query_into(std::vector<EntryT>& out) const {
+    gather_live(scratch_);
+    const std::size_t take = std::min(q_, scratch_.size());
+    if (take > 0 && take < scratch_.size()) {
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
+                       scratch_.end(),
+                       ValueOrder<Id, Value>{.descending = true});
+    }
+    out.insert(out.end(), scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(q_);
+    query_into(out);
+    return out;
+  }
+
+  /// Visit every live item (the top q plus up to q·γ recent/undecided
+  /// ones). Used by tests and by merge operations that can tolerate
+  /// supersets of the top q.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    auto visit = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (arr_[i].val != kEmptyValue<Value>) fn(arr_[i]);
+      }
+    };
+    if (parity_a_) {
+      visit(0, q_ + g_);                      // candidates
+      visit(q_ + g_, q_ + g_ + steps_);       // filled scratch
+    } else {
+      visit(0, steps_);                       // filled scratch
+      visit(g_, arr_.size());                 // candidates
+    }
+  }
+
+  /// Forget everything; equivalent to a freshly constructed instance.
+  /// O(capacity) — the sliding-window algorithms reset one block per
+  /// W·τ items, keeping the amortized cost constant.
+  void reset() noexcept {
+    for (auto& e : arr_) e = EntryT{Id{}, kEmptyValue<Value>};
+    psi_ = kEmptyValue<Value>;
+    parity_a_ = true;
+    steps_ = 0;
+    live_ = 0;
+    processed_ = 0;
+    admitted_ = 0;
+    begin_iteration();
+  }
+
+  void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] double gamma() const noexcept { return opts_.gamma; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return arr_.size(); }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  /// Number of iteration endings where the deamortized selection had not
+  /// finished within its per-step budgets (it is then completed
+  /// synchronously; should be 0 in practice — exposed for the ablation).
+  [[nodiscard]] std::uint64_t late_selections() const noexcept {
+    return late_selections_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t scratch_base() const noexcept {
+    return parity_a_ ? q_ + g_ : 0;
+  }
+  [[nodiscard]] std::size_t candidate_base() const noexcept {
+    return parity_a_ ? 0 : g_;
+  }
+
+  void begin_iteration() {
+    // Parity A selects ascending at k = g (the (g+1)-th smallest of the
+    // q+g candidates is the q-th largest); parity B selects descending at
+    // k = q-1. Both leave the q winners in the middle slots [g, g+q).
+    const std::size_t m = q_ + g_;
+    const bool desc = !parity_a_;
+    const std::size_t k = parity_a_ ? g_ : q_ - 1;
+    select_.start(arr_.data() + candidate_base(), m, k,
+                  ValueOrder<Id, Value>{.descending = desc});
+    psi_applied_ = false;
+  }
+
+  void advance_selection() {
+    if (select_.done()) return;
+    if (select_.step(step_budget_)) apply_new_threshold();
+  }
+
+  void apply_new_threshold() {
+    if (psi_applied_) return;
+    const Value nth = select_.nth().val;
+    if (nth > psi_) psi_ = nth;
+    psi_applied_ = true;
+  }
+
+  void end_iteration() {
+    if (!select_.done()) {
+      // Safety net: the adversarial-pivot case. Finish synchronously.
+      ++late_selections_;
+      select_.finish();
+    }
+    apply_new_threshold();
+    // Evict the g candidates that lost the selection.
+    const std::size_t lose_lo = parity_a_ ? 0 : g_ + q_;
+    for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
+      if (arr_[i].val != kEmptyValue<Value>) {
+        if (on_evict_) on_evict_(arr_[i]);
+        --live_;
+        arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
+      }
+    }
+    parity_a_ = !parity_a_;
+    steps_ = 0;
+    begin_iteration();
+  }
+
+  void gather_live(std::vector<EntryT>& buf) const {
+    buf.clear();
+    for_each_live([&](const EntryT& e) { buf.push_back(e); });
+  }
+
+  std::size_t q_;
+  Options opts_;
+  std::size_t g_ = 0;          // scratch size = iteration length
+  std::vector<EntryT> arr_;    // q + 2g slots
+  Value psi_ = kEmptyValue<Value>;
+  bool parity_a_ = true;
+  bool psi_applied_ = false;
+  std::size_t steps_ = 0;      // admissions in the current iteration
+  std::size_t live_ = 0;
+  std::uint64_t step_budget_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t late_selections_ = 0;
+
+  common::IncrementalSelect<EntryT, ValueOrder<Id, Value>> select_;
+  EvictCallback on_evict_;
+  mutable std::vector<EntryT> scratch_;  // query gather buffer (reused)
+};
+
+}  // namespace qmax

@@ -1,0 +1,62 @@
+// q-MIN adapter: track the q *smallest* values using any q-MAX reservoir.
+//
+// Several of the paper's applications are minimum-oriented — count-distinct
+// and the network-wide heavy hitters both keep the q smallest hash values
+// (Sections 2.3, 2.6). Rather than duplicating every reservoir with a
+// flipped comparator, this adapter negates values on the way in and out.
+// Negation is an order-reversing bijection on doubles (the domain all our
+// hash-based applications use), so the adapted structure inherits the exact
+// top-q guarantee of the wrapped reservoir.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+
+namespace qmax {
+
+template <Reservoir R>
+class QMin {
+ public:
+  using EntryT = typename R::EntryT;
+  using Value = decltype(EntryT{}.val);
+  using Id = decltype(EntryT{}.id);
+
+  template <typename... Args>
+  explicit QMin(Args&&... args) : inner_(std::forward<Args>(args)...) {}
+
+  /// Report an item; it is retained if it is among the q smallest.
+  bool add(Id id, Value val) { return inner_.add(id, -val); }
+
+  /// The current admission bound: items >= this cannot enter the q
+  /// smallest (+∞-like sentinel until the reservoir fills).
+  [[nodiscard]] Value threshold() const { return -inner_.threshold(); }
+
+  /// Append the q smallest items (original sign restored).
+  void query_into(std::vector<EntryT>& out) const {
+    const std::size_t first = out.size();
+    inner_.query_into(out);
+    for (std::size_t i = first; i < out.size(); ++i) out[i].val = -out[i].val;
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    query_into(out);
+    return out;
+  }
+
+  void reset() { inner_.reset(); }
+
+  [[nodiscard]] std::size_t q() const { return inner_.q(); }
+  [[nodiscard]] std::size_t live_count() const { return inner_.live_count(); }
+
+  [[nodiscard]] R& inner() noexcept { return inner_; }
+  [[nodiscard]] const R& inner() const noexcept { return inner_; }
+
+ private:
+  R inner_;
+};
+
+}  // namespace qmax

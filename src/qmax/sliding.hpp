@@ -1,0 +1,296 @@
+// q-MAX over slack windows (Section 4.3 of the paper).
+//
+// Exact sliding-window q-MAX needs Ω(W) space even for q = 1 (Section
+// 4.3.1), so the paper relaxes to (W, τ)-slack windows: the query may
+// answer with respect to any window of size in [W(1−τ), W]. SlackQMax
+// implements the whole family behind one class:
+//
+//   * levels = 1, lazy = false  →  Algorithm 3 ("Basic"): ⌈1/τ⌉ blocks of
+//     W·τ items, one reservoir each, cyclic reset; O(1) update,
+//     O(q·τ⁻¹) query.
+//   * levels = c > 1, lazy = false  →  Algorithm 4: level ℓ holds blocks
+//     of ~W·τ^(ℓ/c) items; a query covers the window with O(τ^(1/c))
+//     blocks per level: O(c) update, O(q·c·τ^(−1/c)) query.
+//   * lazy = true  →  Theorem 7: a front reservoir absorbs every item in
+//     O(1); once per finest block its top q is flushed into all levels,
+//     recovering the fast query with O(1 + q·c/(Wτ)) amortized updates.
+//
+// Geometry. The finest block size is s = max(1, ⌊W·τ⌋); levels share a
+// branching factor b = ⌈(W/s)^(1/c)⌉ so every level-ℓ block is exactly b
+// level-(ℓ+1) blocks and all boundaries align. A query walks a cursor
+// backwards from the newest item, always taking the *coarsest* stored
+// block that ends at the cursor and does not reach past W items back,
+// until at least W − s items are covered. Alignment guarantees the finest
+// level can always continue the walk, and ring retention (each level keeps
+// blocks spanning ≥ W_eff − s ≥ W − s items) guarantees availability.
+//
+// Merging a block means feeding its top q into the result reservoir; any
+// item in the top q of the covered span is in the top q of its own block,
+// so the merge is exact for the covered window.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+#include "qmax/qmax.hpp"
+
+namespace qmax {
+
+template <Reservoir R = QMax<>>
+class SlackQMax {
+ public:
+  using EntryT = typename R::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using Factory = std::function<R()>;
+
+  struct Options {
+    std::size_t levels = 1;  // c; 1 = Algorithm 3, >1 = Algorithm 4
+    bool lazy = false;       // Theorem 7 front-reservoir mode
+  };
+
+  SlackQMax(std::uint64_t window, double tau, Factory factory,
+            Options opts = {})
+      : window_(window), tau_(tau), opts_(opts), factory_(std::move(factory)) {
+    if (window == 0) throw std::invalid_argument("SlackQMax: window empty");
+    if (!(tau > 0.0) || tau > 1.0) {
+      throw std::invalid_argument("SlackQMax: tau must be in (0, 1]");
+    }
+    if (opts_.levels == 0) {
+      throw std::invalid_argument("SlackQMax: need at least one level");
+    }
+    if (!factory_) throw std::invalid_argument("SlackQMax: null factory");
+
+    const double wt = static_cast<double>(window) * tau;
+    fine_block_ = wt < 1.0 ? 1 : static_cast<std::uint64_t>(wt);
+    const std::size_t c = opts_.levels;
+    const double blocks_needed =
+        static_cast<double>(window) / static_cast<double>(fine_block_);
+    branch_ = static_cast<std::uint64_t>(
+        std::ceil(std::pow(blocks_needed, 1.0 / static_cast<double>(c))));
+    if (branch_ < 1) branch_ = 1;
+
+    // Level 0 is the coarsest; level c-1 the finest (block size s).
+    levels_.resize(c);
+    std::uint64_t n = 1;
+    for (std::size_t l = 0; l < c; ++l) n *= branch_;  // b^c finest blocks
+    std::uint64_t size = fine_block_;
+    std::uint64_t count = n;
+    for (std::size_t l = c; l-- > 0;) {
+      Level& lv = levels_[l];
+      lv.block_size = size;
+      lv.num_blocks = count;
+      lv.blocks.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) lv.blocks.push_back(factory_());
+      lv.start.assign(count, kNoBlock);
+      size *= branch_;
+      count /= branch_;
+    }
+    effective_window_ = fine_block_ * n;
+
+    if (opts_.lazy) front_.push_back(factory_());
+  }
+
+  /// Report an item. O(levels) per update, or O(1) amortized in lazy mode.
+  bool add(Id id, Value val) {
+    bool admitted;
+    if (opts_.lazy) {
+      admitted = front_[0].add(id, val);
+      ++t_;
+      if (t_ % fine_block_ == 0) flush_front();
+    } else {
+      admitted = false;
+      for (Level& lv : levels_) {
+        admitted = current_block(lv).add(id, val) || admitted;
+      }
+      ++t_;
+    }
+    return admitted;
+  }
+
+  /// Append the q largest items over a window of size last_coverage(),
+  /// which is guaranteed to be in [min(t, W(1−τ)), W].
+  void query_into(std::vector<EntryT>& out) const {
+    R result = factory_();
+    collect_into(merge_buf_, /*clear=*/true);
+    for (const EntryT& item : merge_buf_) result.add(item.id, item.val);
+    result.query_into(out);
+  }
+
+  /// Append the *candidates* of the covered window — each covering
+  /// block's top q, unfiltered — to `out`. A superset of the window's top
+  /// q (up to q per block); used by estimators that must de-duplicate by
+  /// key before ranking (e.g. windowed count-distinct).
+  void collect_into(std::vector<EntryT>& out) const {
+    collect_into(out, /*clear=*/false);
+  }
+
+ private:
+  void collect_into(std::vector<EntryT>& out, bool clear) const {
+    if (clear) out.clear();
+    const std::uint64_t t = t_;
+    // Horizon: where coarse-block content ends. In lazy mode, levels only
+    // contain flushed data (multiples of the finest block size); the front
+    // reservoir covers (horizon, t].
+    const std::uint64_t horizon = opts_.lazy ? t - (t % fine_block_) : t;
+    if (opts_.lazy && t > horizon) front_[0].query_into(out);
+
+    std::uint64_t e = horizon;
+    std::uint64_t stop =
+        t > (window_ - fine_block_) ? t - (window_ - fine_block_) : 0;
+    if (stop == t && t > 0) stop = t - 1;  // τ = 1: still cover the live block
+
+    while (e > stop) {
+      bool found = false;
+      for (const Level& lv : levels_) {  // coarsest first
+        if (e % lv.block_size != 0 && e != horizon) continue;
+        const std::uint64_t idx = (e - 1) / lv.block_size;
+        const std::uint64_t bstart = idx * lv.block_size;
+        if (bstart + window_ < t) continue;  // would reach past W items back
+        const std::uint64_t slot = idx % lv.num_blocks;
+        if (lv.start[slot] != bstart) continue;  // recycled by the ring
+        lv.blocks[slot].query_into(out);
+        e = bstart;
+        found = true;
+        break;
+      }
+      if (!found) break;  // t < W(1−τ): everything stored is now covered
+    }
+    coverage_ = t - e;
+  }
+
+ public:
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    query_into(out);
+    return out;
+  }
+
+  /// Size of the window the last query answered for.
+  [[nodiscard]] std::uint64_t last_coverage() const noexcept {
+    return coverage_;
+  }
+
+  void reset() {
+    for (Level& lv : levels_) {
+      lv.start.assign(lv.start.size(), kNoBlock);
+      for (R& b : lv.blocks) b.reset();
+    }
+    if (opts_.lazy) front_[0].reset();
+    t_ = 0;
+    coverage_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const {
+    return opts_.lazy ? front_[0].q() : levels_[0].blocks[0].q();
+  }
+  [[nodiscard]] std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const Level& lv : levels_) {
+      for (const R& b : lv.blocks) n += b.live_count();
+    }
+    if (opts_.lazy) n += front_[0].live_count();
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  [[nodiscard]] std::uint64_t fine_block_size() const noexcept {
+    return fine_block_;
+  }
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return t_; }
+  /// Total reservoir instances (space accounting for Theorems 5-7).
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    std::size_t n = opts_.lazy ? 1 : 0;
+    for (const Level& lv : levels_) n += lv.blocks.size();
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+
+  struct Level {
+    std::uint64_t block_size = 0;
+    std::uint64_t num_blocks = 0;
+    std::vector<R> blocks;
+    std::vector<std::uint64_t> start;  // absolute start index tag per slot
+  };
+
+  R& current_block(Level& lv) {
+    const std::uint64_t idx = t_ / lv.block_size;
+    const std::uint64_t slot = idx % lv.num_blocks;
+    const std::uint64_t bstart = idx * lv.block_size;
+    if (lv.start[slot] != bstart) {  // entering a new block: recycle slot
+      lv.blocks[slot].reset();
+      lv.start[slot] = bstart;
+    }
+    return lv.blocks[slot];
+  }
+
+  void flush_front() {
+    flush_buf_.clear();
+    front_[0].query_into(flush_buf_);
+    // The finished block spans (t_ − s, t_]; its item index is t_ − 1.
+    const std::uint64_t item = t_ - 1;
+    for (Level& lv : levels_) {
+      const std::uint64_t idx = item / lv.block_size;
+      const std::uint64_t slot = idx % lv.num_blocks;
+      const std::uint64_t bstart = idx * lv.block_size;
+      if (lv.start[slot] != bstart) {
+        lv.blocks[slot].reset();
+        lv.start[slot] = bstart;
+      }
+      for (const EntryT& e : flush_buf_) lv.blocks[slot].add(e.id, e.val);
+    }
+    front_[0].reset();
+  }
+
+  std::uint64_t window_;
+  double tau_;
+  Options opts_;
+  Factory factory_;
+  std::uint64_t fine_block_ = 1;   // s = ⌊W·τ⌋
+  std::uint64_t branch_ = 1;       // b
+  std::uint64_t effective_window_ = 0;
+  std::vector<Level> levels_;      // [0] coarsest ... [c-1] finest
+  std::vector<R> front_;           // lazy mode only (size 1; R not movable-required)
+  std::uint64_t t_ = 0;
+  mutable std::uint64_t coverage_ = 0;
+  mutable std::vector<EntryT> merge_buf_;
+  std::vector<EntryT> flush_buf_;
+};
+
+/// Algorithm 3: single level, eager updates.
+template <Reservoir R = QMax<>>
+[[nodiscard]] SlackQMax<R> make_basic_slack_qmax(
+    std::uint64_t window, double tau, typename SlackQMax<R>::Factory factory) {
+  return SlackQMax<R>(window, tau, std::move(factory),
+                      typename SlackQMax<R>::Options{.levels = 1});
+}
+
+/// Algorithm 4: c levels, eager updates.
+template <Reservoir R = QMax<>>
+[[nodiscard]] SlackQMax<R> make_hier_slack_qmax(
+    std::uint64_t window, double tau, std::size_t c,
+    typename SlackQMax<R>::Factory factory) {
+  return SlackQMax<R>(window, tau, std::move(factory),
+                      typename SlackQMax<R>::Options{.levels = c});
+}
+
+/// Theorem 7: c levels behind a front reservoir, O(1) amortized updates.
+template <Reservoir R = QMax<>>
+[[nodiscard]] SlackQMax<R> make_lazy_slack_qmax(
+    std::uint64_t window, double tau, std::size_t c,
+    typename SlackQMax<R>::Factory factory) {
+  return SlackQMax<R>(window, tau, std::move(factory),
+                      typename SlackQMax<R>::Options{.levels = c, .lazy = true});
+}
+
+}  // namespace qmax

@@ -1,0 +1,114 @@
+// Sliding-window top-q for *small key domains* — the List-of-Possible-
+// Maxima approach the paper discusses after Theorem 4 (Section 4.3.2).
+//
+// The Ω(min{W, q·τ⁻¹}) lower bound assumes a large key domain. When the
+// domain has only D = O(q·τ⁻¹) possible keys (say, values of one header
+// byte, or DSCP classes), one can instead store, per key, the approximate
+// timestamp of its last occurrence — within a W·τ additive error, i.e.
+// ⌈log₂ τ⁻¹⌉-ish bits per key — for O(D·log τ⁻¹) bits total. A query
+// lists the q largest keys whose last occurrence falls inside the slack
+// window. The paper notes this is infeasible for flow keys (D = 2⁶⁴) but
+// it is the right tool for small enumerable domains, so the library
+// provides it for completeness.
+//
+// Values double as the ordering: the window's top-q *keys by value* where
+// each key carries the value of its most recent occurrence.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/entry.hpp"
+
+namespace qmax {
+
+template <typename Value = double>
+class SmallDomainWindowMax {
+ public:
+  using EntryT = BasicEntry<std::uint64_t, Value>;
+
+  /// @param domain  number of distinct keys (ids must be < domain)
+  /// @param window  window size W in items
+  /// @param tau     slack fraction in (0, 1]
+  SmallDomainWindowMax(std::uint64_t domain, std::uint64_t window, double tau)
+      : domain_(domain), window_(window), tau_(tau) {
+    if (domain == 0) throw std::invalid_argument("SmallDomainWindowMax: D=0");
+    if (window == 0) throw std::invalid_argument("SmallDomainWindowMax: W=0");
+    if (!(tau > 0.0) || tau > 1.0) {
+      throw std::invalid_argument("SmallDomainWindowMax: tau in (0,1]");
+    }
+    const double span = static_cast<double>(window) * tau;
+    bucket_span_ = span < 1.0 ? 1 : static_cast<std::uint64_t>(span);
+    // Bucketed last-seen stamp per key; kNever = never seen. The stamp is
+    // the item index divided by the bucket span: a W·τ-additive encoding.
+    last_bucket_.assign(domain, kNever);
+    value_.assign(domain, Value{});
+  }
+
+  /// Report the next item (advances the window clock).
+  void add(std::uint64_t key, Value val) {
+    if (key >= domain_) {
+      throw std::out_of_range("SmallDomainWindowMax: key outside domain");
+    }
+    last_bucket_[key] = t_ / bucket_span_;
+    value_[key] = val;
+    ++t_;
+  }
+
+  /// The q largest-valued keys last seen within the slack window
+  /// (somewhere between W(1−τ) and W+W·τ items back; the bucketing makes
+  /// the boundary fuzzy by one bucket on each side, matching the paper's
+  /// "approximate timestamp within a W·τ-additive error").
+  [[nodiscard]] std::vector<EntryT> query(std::size_t q) const {
+    const std::uint64_t now_bucket = t_ == 0 ? 0 : (t_ - 1) / bucket_span_;
+    const std::uint64_t window_buckets = window_ / bucket_span_;
+    std::vector<EntryT> live;
+    for (std::uint64_t key = 0; key < domain_; ++key) {
+      const std::uint64_t b = last_bucket_[key];
+      if (b == kNever) continue;
+      if (now_bucket - b <= window_buckets) {
+        live.push_back(EntryT{key, value_[key]});
+      }
+    }
+    if (live.size() > q) {
+      std::nth_element(live.begin(),
+                       live.begin() + static_cast<std::ptrdiff_t>(q - 1),
+                       live.end(),
+                       [](const EntryT& a, const EntryT& b) {
+                         return b.val < a.val;
+                       });
+      live.resize(q);
+    }
+    return live;
+  }
+
+  void reset() {
+    last_bucket_.assign(domain_, kNever);
+    t_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t domain() const noexcept { return domain_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return t_; }
+  /// Space in per-key stamps — the O(D·log τ⁻¹) bits of the paper, here
+  /// stored as whole words for simplicity.
+  [[nodiscard]] std::size_t stamp_count() const noexcept {
+    return last_bucket_.size();
+  }
+
+ private:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  std::uint64_t domain_;
+  std::uint64_t window_;
+  double tau_;
+  std::uint64_t bucket_span_ = 1;
+  std::vector<std::uint64_t> last_bucket_;
+  std::vector<Value> value_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace qmax

@@ -1,0 +1,161 @@
+// q-MAX over *time-based* slack windows (Section 4.3.4).
+//
+// The distributed heavy-hitter setting defines the window in time units
+// rather than packets ("consider a window size of 24 hours; if τ = 1/24,
+// we get a slack window that varies between 23 and 24 hours"): different
+// NMPs see different packet rates, so a count-based window would not be
+// comparable across them. TimeSlackQMax partitions the timeline into
+// blocks of duration W·τ, keeps a reservoir per block in a cyclic buffer
+// (Algorithm 3 geometry on the time axis), and answers queries over a
+// window covering between W(1−τ) and W time units ending at the newest
+// item's timestamp.
+//
+// Unlike the count-based SlackQMax, blocks here can be empty (quiet
+// periods) or arbitrarily full (bursts); space stays O(q/τ) reservoirs
+// regardless. Timestamps must be non-decreasing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "qmax/concepts.hpp"
+#include "qmax/entry.hpp"
+#include "qmax/qmax.hpp"
+
+namespace qmax {
+
+template <Reservoir R = QMax<>>
+class TimeSlackQMax {
+ public:
+  using EntryT = typename R::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using Factory = std::function<R()>;
+
+  /// @param window  window span in time units (e.g. nanoseconds)
+  /// @param tau     slack fraction in (0, 1]
+  TimeSlackQMax(std::uint64_t window, double tau, Factory factory)
+      : window_(window), tau_(tau), factory_(std::move(factory)) {
+    if (window == 0) throw std::invalid_argument("TimeSlackQMax: window 0");
+    if (!(tau > 0.0) || tau > 1.0) {
+      throw std::invalid_argument("TimeSlackQMax: tau must be in (0, 1]");
+    }
+    if (!factory_) throw std::invalid_argument("TimeSlackQMax: null factory");
+    const double span = static_cast<double>(window) * tau;
+    block_span_ = span < 1.0 ? 1 : static_cast<std::uint64_t>(span);
+    num_blocks_ = (window + block_span_ - 1) / block_span_ + 1;
+    blocks_.reserve(num_blocks_);
+    for (std::uint64_t i = 0; i < num_blocks_; ++i) {
+      blocks_.push_back(factory_());
+    }
+    start_.assign(num_blocks_, kNoBlock);
+  }
+
+  /// Report an item observed at `timestamp` (non-decreasing).
+  bool add(Id id, Value val, std::uint64_t timestamp) {
+    if (timestamp < now_) {
+      throw std::invalid_argument("TimeSlackQMax: timestamps must not go back");
+    }
+    now_ = timestamp;
+    const std::uint64_t idx = timestamp / block_span_;
+    const std::uint64_t slot = idx % num_blocks_;
+    const std::uint64_t bstart = idx * block_span_;
+    if (start_[slot] != bstart) {
+      blocks_[slot].reset();
+      start_[slot] = bstart;
+    }
+    ++processed_;
+    return blocks_[slot].add(id, val);
+  }
+
+  /// Append the q largest items over a window ending at the newest
+  /// timestamp and spanning last_coverage() ∈ [W(1−τ), W] time units
+  /// (less while the stream is younger than that).
+  void query_into(std::vector<EntryT>& out) const {
+    R result = factory_();
+    collect(merge_buf_, /*clear=*/true);
+    for (const EntryT& e : merge_buf_) result.add(e.id, e.val);
+    result.query_into(out);
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    query_into(out);
+    return out;
+  }
+
+  /// All covering blocks' candidates, unfiltered (see SlackQMax).
+  void collect_into(std::vector<EntryT>& out) const {
+    collect(out, /*clear=*/false);
+  }
+
+  /// Time units covered by the last query.
+  [[nodiscard]] std::uint64_t last_coverage() const noexcept {
+    return coverage_;
+  }
+
+  void reset() {
+    for (R& b : blocks_) b.reset();
+    start_.assign(start_.size(), kNoBlock);
+    now_ = 0;
+    processed_ = 0;
+    coverage_ = 0;
+  }
+
+  [[nodiscard]] std::size_t q() const { return blocks_[0].q(); }
+  [[nodiscard]] std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const R& b : blocks_) n += b.live_count();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  [[nodiscard]] std::uint64_t block_span() const noexcept {
+    return block_span_;
+  }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+ private:
+  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+
+  void collect(std::vector<EntryT>& out, bool clear) const {
+    if (clear) out.clear();
+    // Cover blocks whose span intersects (now − W', now] for the largest
+    // W' ≤ W expressible in whole blocks: every block with
+    // start > now − W is safely inside the window (its items are at most
+    // W old); the oldest such block start bounds the coverage.
+    const std::uint64_t now = now_;
+    std::uint64_t oldest_start = now;  // nothing covered yet
+    const std::uint64_t cur_idx = now / block_span_;
+    for (std::uint64_t back = 0; back < num_blocks_; ++back) {
+      if (cur_idx < back) break;  // reached the beginning of time
+      const std::uint64_t idx = cur_idx - back;
+      const std::uint64_t bstart = idx * block_span_;
+      // A block is safe iff none of its items can be older than W:
+      // bstart ≥ now − W. The first unsafe block ends the walk; by then
+      // coverage exceeds W − block_span ≥ W(1−τ).
+      if (bstart + window_ < now) break;
+      oldest_start = bstart;  // time covered even if the block was quiet
+      const std::uint64_t slot = idx % num_blocks_;
+      if (start_[slot] == bstart) blocks_[slot].query_into(out);
+    }
+    coverage_ = now - oldest_start;
+  }
+
+  std::uint64_t window_;
+  double tau_;
+  Factory factory_;
+  std::uint64_t block_span_ = 1;
+  std::uint64_t num_blocks_ = 1;
+  std::vector<R> blocks_;
+  std::vector<std::uint64_t> start_;
+  std::uint64_t now_ = 0;
+  std::uint64_t processed_ = 0;
+  mutable std::uint64_t coverage_ = 0;
+  mutable std::vector<EntryT> merge_buf_;
+};
+
+}  // namespace qmax

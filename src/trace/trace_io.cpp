@@ -1,0 +1,183 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace qmax::trace {
+namespace {
+
+// On-disk record layout (packed, little-endian, 31 bytes).
+struct DiskRecord {
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint32_t length;
+  std::uint64_t timestamp;
+  std::uint64_t packet_id;
+};
+
+void append_bytes(std::string& buf, const void* p, std::size_t n) {
+  buf.append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+void append_pod(std::string& buf, T v) {
+  append_bytes(buf, &v, sizeof v);
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("trace: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void write_trace(const std::filesystem::path& path,
+                 std::span<const PacketRecord> packets) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open " + path.string());
+
+  std::string buf;
+  buf.reserve(16 + packets.size() * 33);
+  append_pod(buf, kTraceMagic);
+  append_pod(buf, kTraceVersion);
+  append_pod(buf, static_cast<std::uint64_t>(packets.size()));
+  for (const PacketRecord& p : packets) {
+    append_pod(buf, p.tuple.src_ip);
+    append_pod(buf, p.tuple.dst_ip);
+    append_pod(buf, p.tuple.src_port);
+    append_pod(buf, p.tuple.dst_port);
+    append_pod(buf, static_cast<std::uint8_t>(p.tuple.proto));
+    append_pod(buf, p.length);
+    append_pod(buf, p.timestamp);
+    append_pod(buf, p.packet_id);
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("trace: write failed " + path.string());
+}
+
+std::vector<PacketRecord> read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path.string());
+
+  if (read_pod<std::uint32_t>(in) != kTraceMagic) {
+    throw std::runtime_error("trace: bad magic in " + path.string());
+  }
+  if (read_pod<std::uint32_t>(in) != kTraceVersion) {
+    throw std::runtime_error("trace: unsupported version in " + path.string());
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+
+  std::vector<PacketRecord> packets;
+  packets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PacketRecord p;
+    p.tuple.src_ip = read_pod<std::uint32_t>(in);
+    p.tuple.dst_ip = read_pod<std::uint32_t>(in);
+    p.tuple.src_port = read_pod<std::uint16_t>(in);
+    p.tuple.dst_port = read_pod<std::uint16_t>(in);
+    p.tuple.proto = static_cast<Proto>(read_pod<std::uint8_t>(in));
+    p.length = read_pod<std::uint32_t>(in);
+    p.timestamp = read_pod<std::uint64_t>(in);
+    p.packet_id = read_pod<std::uint64_t>(in);
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+namespace {
+
+constexpr char kCsvHeader[] =
+    "packet_id,timestamp_ns,src_ip,dst_ip,src_port,dst_port,proto,length";
+
+// Parse one CSV field as an unsigned integer bounded by `max`.
+std::uint64_t parse_field(const std::string& line, std::size_t& pos,
+                          std::uint64_t max, const char* what) {
+  if (pos >= line.size()) {
+    throw std::runtime_error(std::string("trace csv: missing field ") + what);
+  }
+  std::uint64_t v = 0;
+  bool any = false;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    if (v > max) {
+      throw std::runtime_error(std::string("trace csv: field out of range: ") +
+                               what);
+    }
+    ++pos;
+    any = true;
+  }
+  if (!any) {
+    throw std::runtime_error(std::string("trace csv: bad field ") + what);
+  }
+  if (pos < line.size()) {
+    if (line[pos] != ',') {
+      throw std::runtime_error("trace csv: expected comma");
+    }
+    ++pos;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<PacketRecord> read_csv_trace(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace csv: cannot open " + path.string());
+  std::vector<PacketRecord> packets;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_header) {
+      if (line.rfind(kCsvHeader, 0) != 0) {
+        throw std::runtime_error("trace csv: unexpected header in " +
+                                 path.string());
+      }
+      saw_header = true;
+      continue;
+    }
+    std::size_t pos = 0;
+    PacketRecord p;
+    p.packet_id = parse_field(line, pos, ~std::uint64_t{0}, "packet_id");
+    p.timestamp = parse_field(line, pos, ~std::uint64_t{0}, "timestamp_ns");
+    p.tuple.src_ip =
+        static_cast<std::uint32_t>(parse_field(line, pos, 0xFFFFFFFF, "src_ip"));
+    p.tuple.dst_ip =
+        static_cast<std::uint32_t>(parse_field(line, pos, 0xFFFFFFFF, "dst_ip"));
+    p.tuple.src_port =
+        static_cast<std::uint16_t>(parse_field(line, pos, 0xFFFF, "src_port"));
+    p.tuple.dst_port =
+        static_cast<std::uint16_t>(parse_field(line, pos, 0xFFFF, "dst_port"));
+    p.tuple.proto = static_cast<Proto>(parse_field(line, pos, 0xFF, "proto"));
+    p.length =
+        static_cast<std::uint32_t>(parse_field(line, pos, 0xFFFFFFFF, "length"));
+    packets.push_back(p);
+  }
+  if (!saw_header) {
+    throw std::runtime_error("trace csv: empty file " + path.string());
+  }
+  return packets;
+}
+
+void write_csv_trace(const std::filesystem::path& path,
+                     std::span<const PacketRecord> packets) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("trace csv: cannot open " + path.string());
+  out << kCsvHeader << '\n';
+  for (const PacketRecord& p : packets) {
+    out << p.packet_id << ',' << p.timestamp << ',' << p.tuple.src_ip << ','
+        << p.tuple.dst_ip << ',' << p.tuple.src_port << ',' << p.tuple.dst_port
+        << ',' << static_cast<unsigned>(p.tuple.proto) << ',' << p.length
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("trace csv: write failed");
+}
+
+}  // namespace qmax::trace

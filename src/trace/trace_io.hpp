@@ -1,0 +1,44 @@
+// Binary trace persistence.
+//
+// Benchmarks regenerate workloads deterministically from seeds, but users
+// replaying their own captures need a stable on-disk format. This is a
+// deliberately simple little-endian record dump with a magic/version
+// header — enough to round-trip PacketRecord streams and to share
+// workloads between the bench binaries and external tooling.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/packet.hpp"
+
+namespace qmax::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x51545243;  // "QTRC"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write `packets` to `path`. Throws std::runtime_error on IO failure.
+void write_trace(const std::filesystem::path& path,
+                 std::span<const PacketRecord> packets);
+
+/// Read a trace written by write_trace. Throws std::runtime_error on IO
+/// failure, bad magic, or version mismatch.
+[[nodiscard]] std::vector<PacketRecord> read_trace(
+    const std::filesystem::path& path);
+
+/// Read a trace from CSV, the interchange format trace_tool emits:
+/// a `packet_id,timestamp_ns,src_ip,dst_ip,src_port,dst_port,proto,length`
+/// header followed by one decimal row per packet (comments start with
+/// '#'). Throws std::runtime_error on IO failure or malformed rows. This
+/// is the import path for externally captured traces.
+[[nodiscard]] std::vector<PacketRecord> read_csv_trace(
+    const std::filesystem::path& path);
+
+/// Write a trace as CSV (the inverse of read_csv_trace).
+void write_csv_trace(const std::filesystem::path& path,
+                     std::span<const PacketRecord> packets);
+
+}  // namespace qmax::trace

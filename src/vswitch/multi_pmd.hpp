@@ -1,0 +1,165 @@
+// Multi-PMD virtual switch: the deployment shape of the paper's OVS
+// integration ("we build one shared memory block for each PMD thread of
+// OVS ... a user-space program reads the packet information from the
+// shared memory blocks").
+//
+// N PMD threads each own a flow table (OVS keeps a per-PMD EMC *and* a
+// per-PMD dpcls) and an SPSC monitor ring. Packets are dispatched to PMDs
+// by RSS (flow-key hash), preserving per-flow ordering. One measurement
+// thread — the user-space program — drains all rings round-robin and
+// feeds a single measurement algorithm; each ring stays single-producer /
+// single-consumer.
+//
+// Throughput semantics match VirtualSwitch: with backpressure on, a slow
+// measurement consumer stalls whichever PMD fills its ring, dragging
+// aggregate switch throughput — now with N producers contending for one
+// consumer, the regime the paper's q = 10^7 cliffs live in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "vswitch/vswitch.hpp"
+
+namespace qmax::vswitch {
+
+struct MultiPmdConfig {
+  std::size_t pmd_threads = 2;
+  SwitchConfig per_pmd{};
+};
+
+struct MultiRunResult {
+  std::vector<RunResult> per_pmd;
+  std::uint64_t packets = 0;
+  double seconds = 0.0;  // wall-clock of the whole parallel section
+
+  [[nodiscard]] double aggregate_mpps() const noexcept {
+    return common::mops(packets, seconds);
+  }
+  [[nodiscard]] double delivered_mpps(double line_rate_pps) const noexcept {
+    const double dp = aggregate_mpps();
+    const double line = line_rate_pps / 1e6;
+    return dp < line ? dp : line;
+  }
+  [[nodiscard]] std::uint64_t total_stalls() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.backpressure_stalls;
+    return n;
+  }
+};
+
+class MultiPmdSwitch {
+ public:
+  explicit MultiPmdSwitch(MultiPmdConfig cfg = {}) : cfg_(cfg) {
+    if (cfg_.pmd_threads == 0) cfg_.pmd_threads = 1;
+    pmds_.reserve(cfg_.pmd_threads);
+    for (std::size_t i = 0; i < cfg_.pmd_threads; ++i) {
+      pmds_.push_back(std::make_unique<VirtualSwitch>(cfg_.per_pmd));
+    }
+  }
+
+  /// Install the same forwarding policy on every PMD's table.
+  void install_default_rules(std::uint32_t buckets = 256) {
+    for (auto& pmd : pmds_) pmd->install_default_rules(buckets);
+  }
+
+  [[nodiscard]] std::size_t pmd_count() const noexcept { return pmds_.size(); }
+  [[nodiscard]] VirtualSwitch& pmd(std::size_t i) { return *pmds_.at(i); }
+
+  /// RSS dispatch: which PMD owns this packet's flow.
+  [[nodiscard]] std::size_t rss(const trace::PacketRecord& p) const noexcept {
+    return p.tuple.flow_key() % pmds_.size();
+  }
+
+  /// Forward with a single measurement consumer draining every PMD's
+  /// ring. `consume(pmd_index, record)` is called on the monitor thread.
+  template <typename Consumer>
+  MultiRunResult forward_monitored(std::span<const trace::PacketRecord> packets,
+                                   Consumer&& consume) {
+    const std::size_t n = pmds_.size();
+    // RSS partition (outside the timed section, like the packet
+    // generators: the NIC does this in hardware).
+    std::vector<std::vector<trace::PacketRecord>> shards(n);
+    for (auto& s : shards) s.reserve(packets.size() / n + 1);
+    for (const auto& p : packets) shards[rss(p)].push_back(p);
+
+    std::vector<std::unique_ptr<SpscRing<MonitorRecord>>> rings;
+    rings.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rings.push_back(std::make_unique<SpscRing<MonitorRecord>>(
+          cfg_.per_pmd.ring_capacity));
+    }
+
+    MultiRunResult res;
+    res.per_pmd.resize(n);
+    res.packets = packets.size();
+    std::atomic<std::size_t> producers_done{0};
+
+    common::Stopwatch wall;
+    std::vector<std::thread> pmd_threads;
+    pmd_threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pmd_threads.emplace_back([&, i] {
+        pmds_[i]->run_datapath(shards[i], rings[i].get(), res.per_pmd[i]);
+        producers_done.fetch_add(1, std::memory_order_release);
+      });
+    }
+
+    std::thread monitor([&] {
+      MonitorRecord batch[64];
+      for (;;) {
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t got = rings[i]->pop_batch(batch, 64);
+          for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+          any |= got > 0;
+        }
+        if (!any) {
+          if (producers_done.load(std::memory_order_acquire) == n) {
+            bool drained = true;
+            for (const auto& r : rings) drained &= r->empty_approx();
+            if (drained) break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+
+    for (auto& t : pmd_threads) t.join();
+    const double producer_wall = wall.seconds();
+    monitor.join();
+    res.seconds = producer_wall;
+    return res;
+  }
+
+  /// Forward without monitoring (the vanilla baseline).
+  MultiRunResult forward(std::span<const trace::PacketRecord> packets) {
+    const std::size_t n = pmds_.size();
+    std::vector<std::vector<trace::PacketRecord>> shards(n);
+    for (const auto& p : packets) shards[rss(p)].push_back(p);
+
+    MultiRunResult res;
+    res.per_pmd.resize(n);
+    res.packets = packets.size();
+    common::Stopwatch wall;
+    std::vector<std::thread> pmd_threads;
+    for (std::size_t i = 0; i < n; ++i) {
+      pmd_threads.emplace_back([&, i] {
+        pmds_[i]->run_datapath(shards[i], nullptr, res.per_pmd[i]);
+      });
+    }
+    for (auto& t : pmd_threads) t.join();
+    res.seconds = wall.seconds();
+    return res;
+  }
+
+ private:
+  MultiPmdConfig cfg_;
+  std::vector<std::unique_ptr<VirtualSwitch>> pmds_;
+};
+
+}  // namespace qmax::vswitch

@@ -1,0 +1,77 @@
+#include "vswitch/vswitch.hpp"
+
+namespace qmax::vswitch {
+
+VirtualSwitch::VirtualSwitch(SwitchConfig cfg)
+    : cfg_(cfg), table_(cfg.emc_entries) {}
+
+void VirtualSwitch::install_default_rules(std::uint32_t buckets) {
+  // One subtable: match the low bits of src_ip, wildcard everything else.
+  std::uint32_t mask_bits = 1;
+  while (mask_bits < buckets) mask_bits <<= 1;
+  FlowMask mask;
+  mask.src_ip = mask_bits - 1;
+  mask.dst_ip = 0;
+  mask.src_port = 0;
+  mask.dst_port = 0;
+  mask.proto = 0;
+  for (std::uint32_t b = 0; b < mask_bits; ++b) {
+    trace::FiveTuple match;
+    match.src_ip = b;
+    table_.add_rule(mask, match,
+                    Action{static_cast<std::uint16_t>(b & 0xFF)});
+  }
+}
+
+RunResult VirtualSwitch::forward(std::span<const trace::PacketRecord> packets) {
+  RunResult res;
+  common::Stopwatch sw;
+  pmd_loop(packets, nullptr, res);
+  res.seconds = sw.seconds();
+  return res;
+}
+
+void VirtualSwitch::pmd_loop(std::span<const trace::PacketRecord> packets,
+                             SpscRing<MonitorRecord>* ring, RunResult& res) {
+  const std::size_t burst = cfg_.rx_burst;
+  std::size_t i = 0;
+  const std::size_t n = packets.size();
+  while (i < n) {
+    const std::size_t end = i + burst < n ? i + burst : n;
+    for (; i < end; ++i) {
+      const trace::PacketRecord& p = packets[i];
+      if (auto act = table_.lookup(p.tuple)) {
+        ++tx_counts_[act->out_port & 0xFF];
+        ++res.forwarded;
+      } else if (upcall_) {
+        // First-packet slow path: consult ofproto, install the decision.
+        ++res.upcalls;
+        const Action act2 = upcall_(p.tuple);
+        table_.add_rule(FlowMask{}, p.tuple, act2);  // exact-match rule
+        ++tx_counts_[act2.out_port & 0xFF];
+        ++res.forwarded;
+      } else {
+        ++res.table_misses;
+      }
+      res.bytes += p.length;
+      ++res.packets;
+
+      if (ring != nullptr) {
+        const MonitorRecord rec{p.tuple.src_ip, p.length, p.packet_id};
+        if (!ring->try_push(rec)) {
+          if (cfg_.backpressure) {
+            ++res.backpressure_stalls;
+            do {
+              // Share the core with the monitor thread while waiting.
+              std::this_thread::yield();
+            } while (!ring->try_push(rec));
+          } else {
+            ++res.records_dropped;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qmax::vswitch

@@ -1,0 +1,162 @@
+// The virtual switch: a software datapath modelled on the OVS/DPDK
+// userspace pipeline the paper integrates q-MAX into (Section 6.6).
+//
+// A PMD-style poll loop pulls packets in bursts, runs the two-tier flow
+// table lookup (EMC → tuple-space classifier), executes the action, and —
+// when monitoring is attached — copies a MonitorRecord (source IP, packet
+// id, packet size: exactly the fields the paper's OVS patch records) into
+// an SPSC shared-memory ring consumed by a measurement thread.
+//
+// Throughput semantics: with backpressure enabled (default, matching the
+// paper's observed behaviour) the PMD blocks when the ring is full, so a
+// measurement algorithm slower than the packet rate drags the switch below
+// line rate — this coupling is precisely what Figures 12-17 measure. The
+// reported throughput is min(datapath rate, line rate) where the line rate
+// follows the Ethernet wire model in trace/packet.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "trace/packet.hpp"
+#include "vswitch/flow_table.hpp"
+#include "vswitch/ring_buffer.hpp"
+
+namespace qmax::vswitch {
+
+/// What the datapath hands to the measurement program per packet
+/// ("the source IP address, packet ID, and packet size of selected
+/// packets" — paper, Section 6).
+struct MonitorRecord {
+  std::uint32_t src_ip = 0;
+  std::uint32_t length = 0;
+  std::uint64_t packet_id = 0;
+};
+
+struct SwitchConfig {
+  double linerate_gbps = 10.0;
+  std::size_t ring_capacity = 1 << 16;
+  /// true: PMD spins when the monitor ring is full (throttles the switch,
+  /// the regime the paper evaluates). false: records are dropped instead.
+  bool backpressure = true;
+  std::size_t emc_entries = 8192;
+  std::size_t rx_burst = 32;
+};
+
+struct RunResult {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  std::uint64_t records_dropped = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t table_misses = 0;
+  std::uint64_t upcalls = 0;
+
+  /// Raw datapath rate (Mpps) — how fast the PMD loop actually ran.
+  [[nodiscard]] double datapath_mpps() const noexcept {
+    return common::mops(packets, seconds);
+  }
+  /// Throughput capped by the physical line (Mpps): the switch cannot
+  /// forward faster than packets arrive on the wire.
+  [[nodiscard]] double delivered_mpps(double line_rate_pps) const noexcept {
+    const double dp = datapath_mpps();
+    const double line = line_rate_pps / 1e6;
+    return dp < line ? dp : line;
+  }
+  /// Delivered rate expressed in Gbps for a given mean wire size.
+  [[nodiscard]] double delivered_gbps(double line_rate_pps,
+                                      double mean_wire_bytes) const noexcept {
+    return delivered_mpps(line_rate_pps) * 1e6 * mean_wire_bytes * 8.0 / 1e9;
+  }
+};
+
+class VirtualSwitch {
+ public:
+  explicit VirtualSwitch(SwitchConfig cfg = {});
+
+  [[nodiscard]] FlowTable& table() noexcept { return table_; }
+  [[nodiscard]] const SwitchConfig& config() const noexcept { return cfg_; }
+
+  /// The ofproto-style slow path: invoked on a full table miss; the
+  /// returned action is installed as an exact-match rule (and cached in
+  /// the EMC), so subsequent packets of the flow take the fast path —
+  /// OVS's first-packet upcall behaviour. Without a handler, misses are
+  /// counted and the packet is dropped.
+  using UpcallHandler = std::function<Action(const trace::FiveTuple&)>;
+  void set_upcall_handler(UpcallHandler handler) {
+    upcall_ = std::move(handler);
+  }
+
+  /// Install a forwarding policy covering the whole flow space: `buckets`
+  /// rules matching the low bits of the source IP (wildcarding the rest),
+  /// each directing to a distinct output port. Guarantees every generated
+  /// packet resolves without an upcall, as in the paper's steady-state
+  /// measurement interval.
+  void install_default_rules(std::uint32_t buckets = 256);
+
+  /// Forward a pre-generated packet vector with no monitoring attached —
+  /// the "vanilla OVS" baseline bar of Figures 12-17.
+  RunResult forward(std::span<const trace::PacketRecord> packets);
+
+  /// Forward with a measurement consumer attached. The consumer runs on
+  /// its own thread (the paper's separate user-space measurement program)
+  /// and receives every MonitorRecord in order.
+  template <typename Consumer>
+  RunResult forward_monitored(std::span<const trace::PacketRecord> packets,
+                              Consumer&& consume) {
+    SpscRing<MonitorRecord> ring(cfg_.ring_capacity);
+    std::atomic<bool> producer_done{false};
+    RunResult res;
+
+    std::thread monitor([&] {
+      MonitorRecord batch[64];
+      for (;;) {
+        const std::size_t n = ring.pop_batch(batch, 64);
+        if (n == 0) {
+          if (producer_done.load(std::memory_order_acquire) &&
+              ring.empty_approx()) {
+            break;
+          }
+          // Single-core friendliness: let the PMD run instead of spinning.
+          std::this_thread::yield();
+          continue;
+        }
+        for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
+      }
+    });
+
+    common::Stopwatch sw;
+    pmd_loop(packets, &ring, res);
+    res.seconds = sw.seconds();
+    producer_done.store(true, std::memory_order_release);
+    monitor.join();
+    return res;
+  }
+
+  /// Run the PMD loop against an externally owned ring (no monitor thread
+  /// is spawned). Building block for multi-PMD deployments where one
+  /// measurement program drains several per-PMD rings (see multi_pmd.hpp).
+  void run_datapath(std::span<const trace::PacketRecord> packets,
+                    SpscRing<MonitorRecord>* ring, RunResult& res) {
+    common::Stopwatch sw;
+    pmd_loop(packets, ring, res);
+    res.seconds = sw.seconds();
+  }
+
+ private:
+  /// The PMD poll loop. `ring == nullptr` disables monitoring.
+  void pmd_loop(std::span<const trace::PacketRecord> packets,
+                SpscRing<MonitorRecord>* ring, RunResult& res);
+
+  SwitchConfig cfg_;
+  FlowTable table_;
+  UpcallHandler upcall_;
+  std::uint64_t tx_counts_[256] = {};
+};
+
+}  // namespace qmax::vswitch

@@ -1,0 +1,227 @@
+// Baseline reservoirs (Heap / SkipList / multiset): correctness and the
+// exact-replace semantics the sorting reduction needs.
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "baselines/sorted_qmax.hpp"
+#include "baselines/std_heap_qmax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+#include "qmax/concepts.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::common::Xoshiro256;
+using HeapR = qmax::baselines::HeapQMax<>;
+using SkipR = qmax::baselines::SkipListQMax<>;
+using TreeR = qmax::baselines::SortedQMax<>;
+using StdHeapR = qmax::baselines::StdHeapQMax<>;
+
+static_assert(qmax::Reservoir<HeapR>);
+static_assert(qmax::Reservoir<SkipR>);
+static_assert(qmax::Reservoir<TreeR>);
+static_assert(qmax::Reservoir<StdHeapR>);
+static_assert(qmax::Reservoir<qmax::QMax<>>);
+
+template <typename R>
+std::vector<double> queried_values(const R& r) {
+  std::vector<double> out;
+  for (const auto& e : r.query()) out.push_back(e.val);
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+std::vector<double> top_q_oracle(std::vector<double> vals, std::size_t q) {
+  std::sort(vals.begin(), vals.end(), std::greater<>());
+  if (vals.size() > q) vals.resize(q);
+  return vals;
+}
+
+template <typename R>
+void run_oracle_check(R& r, std::size_t q, std::uint64_t seed,
+                      int items = 20'000) {
+  Xoshiro256 rng(seed);
+  std::vector<double> all;
+  for (int i = 0; i < items; ++i) {
+    const double v = rng.uniform() < 0.25 ? double(rng.bounded(50))
+                                          : rng.uniform() * 1e4;
+    all.push_back(v);
+    r.add(static_cast<std::uint64_t>(i), v);
+  }
+  EXPECT_EQ(queried_values(r), top_q_oracle(all, q));
+}
+
+TEST(HeapQMax, MatchesOracle) {
+  HeapR r(100);
+  run_oracle_check(r, 100, 1);
+}
+
+TEST(HeapQMax, ThresholdIsMin) {
+  HeapR r(5);
+  for (int i = 0; i < 4; ++i) r.add(i, i);
+  EXPECT_EQ(r.threshold(), qmax::kEmptyValue<double>);
+  r.add(4, 4.0);
+  EXPECT_DOUBLE_EQ(r.threshold(), 0.0);
+  r.add(5, 10.0);
+  EXPECT_DOUBLE_EQ(r.threshold(), 1.0);
+}
+
+TEST(HeapQMax, AddReplaceSemantics) {
+  HeapR r(3);
+  EXPECT_EQ(r.add_replace(1, 5.0), std::nullopt);
+  EXPECT_EQ(r.add_replace(2, 7.0), std::nullopt);
+  EXPECT_EQ(r.add_replace(3, 6.0), std::nullopt);
+  // Below the min: the incoming item bounces back.
+  auto bounced = r.add_replace(4, 1.0);
+  ASSERT_TRUE(bounced.has_value());
+  EXPECT_EQ(bounced->id, 4u);
+  // Above the min: the previous min is displaced.
+  auto displaced = r.add_replace(5, 9.0);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->id, 1u);
+  EXPECT_DOUBLE_EQ(displaced->val, 5.0);
+}
+
+TEST(SkipListQMax, MatchesOracle) {
+  SkipR r(100);
+  run_oracle_check(r, 100, 2);
+}
+
+TEST(SkipListQMax, QueryIsSortedAscending) {
+  SkipR r(50);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) r.add(i, rng.uniform());
+  const auto res = r.query();
+  ASSERT_EQ(res.size(), 50u);
+  for (std::size_t i = 1; i < res.size(); ++i) {
+    EXPECT_LE(res[i - 1].val, res[i].val);
+  }
+}
+
+TEST(SkipListQMax, SlotExhaustionAndReuse) {
+  // Hammer insert/evict cycles well past q to exercise the free list.
+  SkipR r(8);
+  for (int round = 0; round < 1000; ++round) {
+    r.add(round, static_cast<double>(round));
+    EXPECT_LE(r.live_count(), 8u);
+  }
+  const auto res = queried_values(r);
+  ASSERT_EQ(res.size(), 8u);
+  EXPECT_DOUBLE_EQ(res.front(), 999.0);
+  EXPECT_DOUBLE_EQ(res.back(), 992.0);
+}
+
+TEST(SkipListQMax, DuplicateValues) {
+  SkipR r(10);
+  for (int i = 0; i < 100; ++i) r.add(i, 5.0);
+  EXPECT_EQ(r.live_count(), 10u);
+  for (const auto& e : r.query()) EXPECT_DOUBLE_EQ(e.val, 5.0);
+}
+
+TEST(SkipListQMax, ResetReusesAllSlots) {
+  SkipR r(16);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) r.add(i, i * 1.0 + round);
+    EXPECT_EQ(r.live_count(), 16u);
+    r.reset();
+    EXPECT_EQ(r.live_count(), 0u);
+  }
+}
+
+TEST(SortedQMax, MatchesOracle) {
+  TreeR r(100);
+  run_oracle_check(r, 100, 4);
+}
+
+TEST(StdHeapQMax, MatchesOracle) {
+  StdHeapR r(100);
+  run_oracle_check(r, 100, 8);
+}
+
+TEST(StdHeapQMax, AddReplaceSemantics) {
+  StdHeapR r(2);
+  EXPECT_EQ(r.add_replace(1, 5.0), std::nullopt);
+  EXPECT_EQ(r.add_replace(2, 7.0), std::nullopt);
+  auto bounced = r.add_replace(3, 1.0);
+  ASSERT_TRUE(bounced.has_value());
+  EXPECT_EQ(bounced->id, 3u);
+  auto displaced = r.add_replace(4, 9.0);
+  ASSERT_TRUE(displaced.has_value());
+  EXPECT_EQ(displaced->id, 1u);
+}
+
+
+TEST(AllBaselines, AgreeWithEachOtherOnTies) {
+  HeapR h(20);
+  SkipR s(20);
+  TreeR t(20);
+  qmax::QMax<> m(20, 0.3);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = double(rng.bounded(40));  // heavy ties
+    h.add(i, v);
+    s.add(i, v);
+    t.add(i, v);
+    m.add(i, v);
+  }
+  const auto expect = queried_values(t);
+  EXPECT_EQ(queried_values(h), expect);
+  EXPECT_EQ(queried_values(s), expect);
+  EXPECT_EQ(queried_values(m), expect);
+}
+
+// Theorem 3 / Algorithm 2: integer sorting via a q-MAX reservoir with
+// exact-replace semantics. With Ψ (the space slack) = 1, feeding the array
+// then n maximal sentinels pops items back in ascending order.
+template <typename R>
+std::vector<std::int64_t> sort_via_reservoir(
+    const std::vector<std::int64_t>& input) {
+  R reservoir(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    reservoir.add_replace(i, static_cast<double>(input[i]));
+  }
+  const double sentinel =
+      static_cast<double>(*std::max_element(input.begin(), input.end())) + 1.0;
+  std::vector<std::int64_t> sorted;
+  sorted.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const auto displaced = reservoir.add_replace(1'000'000 + i, sentinel);
+    EXPECT_TRUE(displaced.has_value());
+    sorted.push_back(static_cast<std::int64_t>(displaced->val));
+  }
+  return sorted;
+}
+
+TEST(SortingReduction, HeapSortsIntegers) {
+  Xoshiro256 rng(6);
+  std::vector<std::int64_t> input(500);
+  for (auto& x : input) x = static_cast<std::int64_t>(rng.bounded(10'000));
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sort_via_reservoir<HeapR>(input), expected);
+}
+
+TEST(SortingReduction, StdHeapSortsIntegers) {
+  Xoshiro256 rng(12);
+  std::vector<std::int64_t> input(300);
+  for (auto& x : input) x = static_cast<std::int64_t>(rng.bounded(5'000));
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sort_via_reservoir<StdHeapR>(input), expected);
+}
+
+TEST(SortingReduction, SkipListSortsIntegers) {
+  Xoshiro256 rng(7);
+  std::vector<std::int64_t> input(500);
+  for (auto& x : input) x = static_cast<std::int64_t>(rng.bounded(10'000));
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sort_via_reservoir<SkipR>(input), expected);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Bottom-k sketch tests: estimator accuracy and mergeability.
+#include "apps/bottomk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/heap_qmax.hpp"
+#include "common/random.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::apps::BottomKSketch;
+using qmax::apps::WeightedKey;
+using qmax::common::Xoshiro256;
+
+using QMaxR = qmax::QMax<WeightedKey, double>;
+using HeapR = qmax::baselines::HeapQMax<WeightedKey, double>;
+
+TEST(BottomK, KeepsMinimalRanks) {
+  BottomKSketch<HeapR> sk(16, HeapR(17), /*seed=*/1);
+  Xoshiro256 rng(1);
+  for (std::uint64_t k = 0; k < 5'000; ++k) sk.add(k, rng.uniform() * 10 + 1);
+  const auto items = sk.contents();
+  ASSERT_EQ(items.size(), 16u);
+  for (const auto& it : items) {
+    EXPECT_GT(it.rank, 0.0);
+    EXPECT_GT(it.estimate, 0.0);
+    EXPECT_GE(it.estimate, it.weight);  // max(w, 1/τ) ≥ w
+  }
+}
+
+TEST(BottomK, SubsetSumUnbiasedOverSeeds) {
+  const std::size_t n = 3'000;
+  Xoshiro256 wrng(2);
+  std::vector<double> weights(n);
+  double truth = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = wrng.uniform() * 4 + 0.5;
+    if (k % 3 == 0) truth += weights[k];
+  }
+  double mean = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    BottomKSketch<HeapR> sk(128, HeapR(129), /*seed=*/500 + t);
+    for (std::size_t k = 0; k < n; ++k) sk.add(k, weights[k]);
+    mean += sk.subset_sum([](std::uint64_t k) { return k % 3 == 0; });
+  }
+  mean /= trials;
+  EXPECT_NEAR(mean, truth, truth * 0.15);
+}
+
+TEST(BottomK, MergeEqualsUnionSketch) {
+  // Sketching two disjoint halves and merging must give the same k
+  // minimal-rank keys as sketching the union directly.
+  const std::uint64_t seed = 9;
+  BottomKSketch<HeapR> left(64, HeapR(65), seed);
+  BottomKSketch<HeapR> right(64, HeapR(65), seed);
+  BottomKSketch<HeapR> whole(64, HeapR(65), seed);
+  Xoshiro256 rng(3);
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    const double w = rng.uniform() * 7 + 0.1;
+    (k % 2 == 0 ? left : right).add(k, w);
+    whole.add(k, w);
+  }
+  left.merge(right);
+  std::set<std::uint64_t> merged_keys, whole_keys;
+  for (const auto& it : left.contents()) merged_keys.insert(it.key);
+  for (const auto& it : whole.contents()) whole_keys.insert(it.key);
+  EXPECT_EQ(merged_keys, whole_keys);
+}
+
+TEST(BottomK, MergeWithOverlapDoesNotDoubleCount) {
+  const std::uint64_t seed = 10;
+  BottomKSketch<HeapR> a(32, HeapR(33), seed);
+  BottomKSketch<HeapR> b(32, HeapR(33), seed);
+  Xoshiro256 rng(4);
+  for (std::uint64_t k = 0; k < 2'000; ++k) {
+    const double w = rng.uniform() + 0.5;
+    a.add(k, w);
+    if (k < 1'000) b.add(k, w);  // b sees a subset of a's keys
+  }
+  a.merge(b);
+  // No key may appear twice among the contents.
+  std::set<std::uint64_t> seen;
+  for (const auto& it : a.contents()) {
+    EXPECT_TRUE(seen.insert(it.key).second) << "duplicate key " << it.key;
+  }
+}
+
+TEST(BottomK, QMaxBackendAgreesWithHeap) {
+  const std::uint64_t seed = 11;
+  BottomKSketch<QMaxR> a(48, QMaxR(49, 0.5), seed);
+  BottomKSketch<HeapR> b(48, HeapR(49), seed);
+  Xoshiro256 rng(5);
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    const double w = rng.uniform() * 3 + 0.2;
+    a.add(k, w);
+    b.add(k, w);
+  }
+  std::set<std::uint64_t> ka, kb;
+  for (const auto& it : a.contents()) ka.insert(it.key);
+  for (const auto& it : b.contents()) kb.insert(it.key);
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(BottomK, SubsetCountAndMean) {
+  // 2000 keys with weight 2.0, 2000 with weight 6.0: the count split and
+  // the means must be recovered. Inclusion is weight-proportional, so
+  // light keys are sampled ~3x less often; k = 768 keeps their count
+  // estimate inside a 25% band.
+  BottomKSketch<HeapR> sk(768, HeapR(769), /*seed=*/21);
+  for (std::uint64_t k = 0; k < 4'000; ++k) {
+    sk.add(k, k < 2'000 ? 2.0 : 6.0);
+  }
+  auto light = [](std::uint64_t k) { return k < 2'000; };
+  auto heavy = [](std::uint64_t k) { return k >= 2'000; };
+  EXPECT_NEAR(sk.subset_count(light), 2'000.0, 2'000.0 * 0.25);
+  EXPECT_NEAR(sk.subset_count(heavy), 2'000.0, 2'000.0 * 0.25);
+  EXPECT_NEAR(sk.subset_mean(light), 2.0, 0.4);
+  EXPECT_NEAR(sk.subset_mean(heavy), 6.0, 1.0);
+}
+
+TEST(BottomK, SubsetVarianceSeparatesPopulations) {
+  // Constant weights → variance ≈ 0; bimodal weights → variance ≈ 4
+  // (values 2 and 6 equally likely: var = ((2-4)^2+(6-4)^2)/2 = 4).
+  BottomKSketch<HeapR> constant(256, HeapR(257), /*seed=*/22);
+  BottomKSketch<HeapR> bimodal(256, HeapR(257), /*seed=*/22);
+  for (std::uint64_t k = 0; k < 4'000; ++k) {
+    constant.add(k, 4.0);
+    bimodal.add(k, k % 2 == 0 ? 2.0 : 6.0);
+  }
+  auto all = [](std::uint64_t) { return true; };
+  EXPECT_NEAR(constant.subset_variance(all), 0.0, 0.2);
+  EXPECT_NEAR(bimodal.subset_variance(all), 4.0, 1.2);
+}
+
+TEST(BottomK, SubsetQuantileFindsMedianRegion) {
+  // Weights uniform on (0, 100): the 0.5 weighted quantile sits near
+  // sqrt(0.5)*100 ≈ 70.7 (half the MASS lies below w iff w²/100² = 0.5).
+  BottomKSketch<HeapR> sk(512, HeapR(513), /*seed=*/23);
+  Xoshiro256 rng(23);
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    sk.add(k, rng.uniform() * 100.0 + 1e-9);
+  }
+  auto all = [](std::uint64_t) { return true; };
+  EXPECT_NEAR(sk.subset_quantile(all, 0.5), 70.7, 10.0);
+  EXPECT_GT(sk.subset_quantile(all, 0.9), sk.subset_quantile(all, 0.3));
+}
+
+TEST(BottomK, RejectsNonPositiveWeights) {
+  BottomKSketch<HeapR> sk(8, HeapR(9));
+  EXPECT_FALSE(sk.add(1, 0.0));
+  EXPECT_FALSE(sk.add(2, -1.0));
+  EXPECT_TRUE(sk.contents().empty());
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Count-distinct (KMV) estimator tests: accuracy, duplicate-insensitivity,
+// windowed behaviour.
+#include "apps/count_distinct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+
+namespace {
+
+using qmax::apps::CountDistinct;
+using qmax::apps::WindowedCountDistinct;
+using qmax::common::Xoshiro256;
+
+TEST(CountDistinct, ExactBelowK) {
+  CountDistinct cd(128);
+  for (std::uint64_t k = 0; k < 100; ++k) cd.add(k);
+  EXPECT_DOUBLE_EQ(cd.estimate(), 100.0);
+}
+
+TEST(CountDistinct, DuplicatesDoNotChangeEstimate) {
+  CountDistinct cd(64);
+  for (std::uint64_t k = 0; k < 1'000; ++k) cd.add(k);
+  const double once = cd.estimate();
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t k = 0; k < 1'000; ++k) cd.add(k);
+  }
+  EXPECT_DOUBLE_EQ(cd.estimate(), once);
+}
+
+TEST(CountDistinct, RelativeErrorScalesWithK) {
+  // σ/n ≈ 1/√k; with k = 1024 a 3σ band is ~9.4%.
+  const std::uint64_t n = 200'000;
+  CountDistinct cd(1024, 0.25, /*seed=*/5);
+  for (std::uint64_t k = 0; k < n; ++k) cd.add(k * 2'654'435'761ULL);
+  EXPECT_NEAR(cd.estimate(), double(n), double(n) * 0.094);
+}
+
+TEST(CountDistinct, AccurateOnSkewedRepetition) {
+  // 5k distinct keys, heavily repeated: the estimator sees only identity.
+  CountDistinct cd(512, 0.25, /*seed=*/6);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 300'000; ++i) cd.add(rng.bounded(5'000));
+  EXPECT_NEAR(cd.estimate(), 5'000.0, 5'000.0 * 0.14);
+}
+
+TEST(CountDistinct, SeedsGiveIndependentEstimates) {
+  const std::uint64_t n = 50'000;
+  double sum = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    CountDistinct cd(256, 0.25, /*seed=*/100 + t);
+    for (std::uint64_t k = 0; k < n; ++k) cd.add(k);
+    sum += cd.estimate();
+  }
+  // Averaging over seeds tightens the estimate.
+  EXPECT_NEAR(sum / trials, double(n), double(n) * 0.05);
+}
+
+TEST(CountDistinct, ResetForgetsKeys) {
+  CountDistinct cd(64);
+  for (std::uint64_t k = 0; k < 10'000; ++k) cd.add(k);
+  cd.reset();
+  EXPECT_DOUBLE_EQ(cd.estimate(), 0.0);
+  for (std::uint64_t k = 0; k < 10; ++k) cd.add(k);
+  EXPECT_DOUBLE_EQ(cd.estimate(), 10.0);
+}
+
+TEST(WindowedCountDistinct, TracksWindowPopulation) {
+  // Keys cycle: in any recent window of 10k items there are ~5k distinct
+  // keys (each repeated twice on average).
+  const std::uint64_t window = 10'000;
+  WindowedCountDistinct wcd(256, window, 0.1, {.seed = 7});
+  Xoshiro256 rng(7);
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    // Sliding key population: key = i/2 means the last 10k items contain
+    // exactly 5000+1 distinct keys.
+    wcd.add(i / 2);
+  }
+  const double est = wcd.estimate();
+  const double expected = double(wcd.last_coverage()) / 2.0;
+  EXPECT_NEAR(est, expected, expected * 0.25);
+}
+
+TEST(WindowedCountDistinct, OldKeysExpire) {
+  const std::uint64_t window = 1'000;
+  WindowedCountDistinct wcd(128, window, 0.1, {.seed = 8});
+  // Phase 1: 50k distinct keys.
+  for (std::uint64_t k = 0; k < 50'000; ++k) wcd.add(k);
+  // Phase 2: only 100 keys cycling for >> W items.
+  for (std::uint64_t i = 0; i < 5'000; ++i) wcd.add(1'000'000 + (i % 100));
+  const double est = wcd.estimate();
+  EXPECT_NEAR(est, 100.0, 40.0) << "expired keys still dominate the estimate";
+}
+
+TEST(WindowedCountDistinct, ExactOnTinyWindowPopulation) {
+  WindowedCountDistinct wcd(64, 500, 0.2, {.seed = 9});
+  for (std::uint64_t i = 0; i < 10'000; ++i) wcd.add(i % 20);
+  EXPECT_DOUBLE_EQ(wcd.estimate(), 20.0);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// DBM tests: bucket invariants, bandwidth reconstruction, and agreement
+// between the heap and q-MIN pair finders.
+#include "apps/dbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace {
+
+using qmax::apps::DbmSketch;
+using qmax::apps::HeapPairFinder;
+using qmax::apps::QMinPairFinder;
+using qmax::common::Xoshiro256;
+
+TEST(Dbm, RejectsTinyBudget) {
+  EXPECT_THROW(DbmSketch<HeapPairFinder>(1), std::invalid_argument);
+}
+
+TEST(Dbm, BucketCountNeverExceedsBudget) {
+  DbmSketch<HeapPairFinder> dbm(16);
+  Xoshiro256 rng(1);
+  for (std::uint64_t t = 0; t < 10'000; ++t) {
+    dbm.add(t, 1 + rng.bounded(1'000));
+    EXPECT_LE(dbm.bucket_count(), 16u);
+  }
+}
+
+TEST(Dbm, BytesAreConserved) {
+  DbmSketch<HeapPairFinder> dbm(8);
+  std::uint64_t total = 0;
+  Xoshiro256 rng(2);
+  for (std::uint64_t t = 0; t < 5'000; ++t) {
+    const std::uint64_t b = 1 + rng.bounded(100);
+    total += b;
+    dbm.add(t, b);
+  }
+  EXPECT_EQ(dbm.total_bytes(), total);
+  double sum = 0;
+  for (const auto& b : dbm.buckets()) sum += double(b.bytes);
+  EXPECT_DOUBLE_EQ(sum, double(total));
+}
+
+TEST(Dbm, BucketsTileTimeInOrder) {
+  DbmSketch<HeapPairFinder> dbm(12);
+  for (std::uint64_t t = 0; t < 3'000; ++t) dbm.add(t, 10);
+  const auto buckets = dbm.buckets();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.front().start_ts, 0u);
+  EXPECT_EQ(buckets.back().end_ts, 2'999u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].start_ts, buckets[i - 1].end_ts + 1)
+        << "gap/overlap between buckets " << i - 1 << " and " << i;
+  }
+}
+
+TEST(Dbm, FullRangeBandwidthIsTotal) {
+  DbmSketch<HeapPairFinder> dbm(10);
+  std::uint64_t total = 0;
+  Xoshiro256 rng(3);
+  for (std::uint64_t t = 0; t < 2'000; ++t) {
+    const std::uint64_t b = 1 + rng.bounded(50);
+    total += b;
+    dbm.add(t, b);
+  }
+  EXPECT_NEAR(dbm.bandwidth(0, 1'999), double(total), 1e-6);
+}
+
+TEST(Dbm, DetectsTrafficBurst) {
+  // Uniform 10 B/s with a 1000 B/s burst in [500, 600): DBM with enough
+  // buckets must attribute most bytes to the burst interval.
+  DbmSketch<HeapPairFinder> dbm(32);
+  for (std::uint64_t t = 0; t < 1'000; ++t) {
+    dbm.add(t, (t >= 500 && t < 600) ? 1'000 : 10);
+  }
+  const double burst = dbm.bandwidth(500, 599);
+  const double quiet = dbm.bandwidth(0, 99);
+  EXPECT_GT(burst, 50'000.0);
+  EXPECT_LT(quiet, 20'000.0);
+}
+
+TEST(Dbm, QMinFinderKeepsInvariants) {
+  DbmSketch<QMinPairFinder> dbm(16, QMinPairFinder(16, 1.0));
+  std::uint64_t total = 0;
+  Xoshiro256 rng(4);
+  for (std::uint64_t t = 0; t < 20'000; ++t) {
+    const std::uint64_t b = 1 + rng.bounded(1'000);
+    total += b;
+    dbm.add(t, b);
+    ASSERT_LE(dbm.bucket_count(), 16u);
+  }
+  EXPECT_EQ(dbm.total_bytes(), total);
+  const auto buckets = dbm.buckets();
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i].start_ts, buckets[i - 1].end_ts + 1);
+  }
+}
+
+TEST(Dbm, FindersGiveComparableAccuracy) {
+  // The lazy q-MIN finder may merge slightly off-minimum pairs; its
+  // bandwidth reconstruction must stay close to the heap version's.
+  DbmSketch<HeapPairFinder> heap_dbm(24);
+  DbmSketch<QMinPairFinder> qmin_dbm(24, QMinPairFinder(24, 1.0));
+  Xoshiro256 rng(5);
+  for (std::uint64_t t = 0; t < 5'000; ++t) {
+    const std::uint64_t b = (t / 500) % 2 == 0 ? 10 + rng.bounded(10)
+                                               : 200 + rng.bounded(100);
+    heap_dbm.add(t, b);
+    qmin_dbm.add(t, b);
+  }
+  for (std::uint64_t lo = 0; lo < 5'000; lo += 1'000) {
+    const double a = heap_dbm.bandwidth(lo, lo + 999);
+    const double b = qmin_dbm.bandwidth(lo, lo + 999);
+    EXPECT_NEAR(a, b, std::max(a, b) * 0.35 + 1'000.0);
+  }
+}
+
+}  // namespace

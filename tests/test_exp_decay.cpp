@@ -1,0 +1,152 @@
+// Exponential-Decay q-MAX tests (Section 5): the log-domain reduction must
+// preserve the decayed-weight order exactly.
+#include "qmax/exp_decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace {
+
+using qmax::ExpDecayQMax;
+using qmax::common::Xoshiro256;
+
+// Brute-force: ids of the q items with the largest val·c^(t−i).
+std::set<std::uint64_t> oracle_ids(const std::vector<double>& vals, double c,
+                                   std::size_t q) {
+  const std::size_t t = vals.size();
+  std::vector<std::pair<double, std::uint64_t>> weighted;
+  for (std::size_t i = 0; i < t; ++i) {
+    // log(val·c^(t−i)) = log(val) + (t−i)·log(c); compare in the log
+    // domain for the same numeric robustness as the implementation.
+    weighted.emplace_back(
+        std::log(vals[i]) + (double(t) - double(i)) * std::log(c), i);
+  }
+  std::sort(weighted.begin(), weighted.end(), std::greater<>());
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < std::min(q, weighted.size()); ++i) {
+    ids.insert(weighted[i].second);
+  }
+  return ids;
+}
+
+template <typename R>
+std::set<std::uint64_t> queried_ids(const R& r) {
+  std::set<std::uint64_t> ids;
+  for (const auto& e : r.query_log()) ids.insert(e.id);
+  return ids;
+}
+
+TEST(ExpDecayQMax, RejectsBadDecay) {
+  EXPECT_THROW(ExpDecayQMax<>(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(ExpDecayQMax<>(4, 1.5), std::invalid_argument);
+  EXPECT_THROW(ExpDecayQMax<>(4, -0.5), std::invalid_argument);
+}
+
+TEST(ExpDecayQMax, RejectsNonPositiveWeights) {
+  ExpDecayQMax<> r(4, 0.9);
+  EXPECT_FALSE(r.add(1, 0.0));
+  EXPECT_FALSE(r.add(2, -5.0));
+  EXPECT_FALSE(r.add(3, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(r.add(4, std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(r.add(5, 1.0));
+  EXPECT_EQ(r.query().size(), 1u);
+}
+
+TEST(ExpDecayQMax, MatchesBruteForceUniform) {
+  const double c = 0.999;  // slow decay: old heavy items still compete
+  const std::size_t q = 16;
+  ExpDecayQMax<> r(q, c, 0.5);
+  Xoshiro256 rng(1);
+  std::vector<double> vals;
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    const double v = rng.uniform() * 100 + 0.001;
+    vals.push_back(v);
+    r.add(i, v);
+  }
+  EXPECT_EQ(queried_ids(r), oracle_ids(vals, c, q));
+}
+
+TEST(ExpDecayQMax, FastDecayFavorsRecency) {
+  // c = 0.5: weights halve every arrival; with equal raw values the q most
+  // recent items must win regardless of history length.
+  const std::size_t q = 8;
+  ExpDecayQMax<> r(q, 0.5, 0.5);
+  const std::uint64_t n = 2'000;
+  for (std::uint64_t i = 0; i < n; ++i) r.add(i, 1.0);
+  const auto ids = queried_ids(r);
+  ASSERT_EQ(ids.size(), q);
+  for (std::uint64_t i = n - q; i < n; ++i) {
+    EXPECT_TRUE(ids.count(i)) << "missing recent id " << i;
+  }
+}
+
+TEST(ExpDecayQMax, HeavyOldItemSurvivesSlowDecay) {
+  const std::size_t q = 4;
+  const double c = 0.9999;
+  ExpDecayQMax<> r(q, c, 0.5);
+  r.add(0, 1e9);  // decays by c^2000 ≈ 0.82 over the run: still enormous
+  Xoshiro256 rng(2);
+  for (std::uint64_t i = 1; i <= 2'000; ++i) r.add(i, rng.uniform());
+  EXPECT_TRUE(queried_ids(r).count(0));
+}
+
+TEST(ExpDecayQMax, DecayOneIsPlainQMax) {
+  const std::size_t q = 10;
+  ExpDecayQMax<> r(q, 1.0, 0.5);
+  Xoshiro256 rng(3);
+  std::vector<double> vals;
+  for (std::uint64_t i = 0; i < 3'000; ++i) {
+    const double v = rng.uniform() + 0.01;
+    vals.push_back(v);
+    r.add(i, v);
+  }
+  // Top-q by raw value.
+  std::vector<std::pair<double, std::uint64_t>> byval;
+  for (std::uint64_t i = 0; i < vals.size(); ++i) byval.emplace_back(vals[i], i);
+  std::sort(byval.begin(), byval.end(), std::greater<>());
+  std::set<std::uint64_t> expect;
+  for (std::size_t i = 0; i < q; ++i) expect.insert(byval[i].second);
+  EXPECT_EQ(queried_ids(r), expect);
+}
+
+TEST(ExpDecayQMax, QueryWeightsAreCurrentAndOrdered) {
+  ExpDecayQMax<> r(4, 0.75, 0.5);
+  r.add(10, 8.0);
+  r.add(11, 8.0);
+  r.add(12, 8.0);
+  auto out = r.query();
+  ASSERT_EQ(out.size(), 3u);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  // weight(id=10) = 8·0.75^3, ..., weight(id=12) = 8·0.75^1 (t = 3).
+  EXPECT_NEAR(out[0].val, 8.0 * std::pow(0.75, 3), 1e-9);
+  EXPECT_NEAR(out[1].val, 8.0 * std::pow(0.75, 2), 1e-9);
+  EXPECT_NEAR(out[2].val, 8.0 * std::pow(0.75, 1), 1e-9);
+}
+
+TEST(ExpDecayQMax, LongStreamNumericallyStable) {
+  // The naive c^(−i) overflows around i ≈ 7000 for c = 0.9; the log-domain
+  // form must sail through millions of items.
+  const std::size_t q = 8;
+  const double c = 0.9;
+  ExpDecayQMax<> r(q, c, 0.5);
+  Xoshiro256 rng(4);
+  const std::uint64_t n = 1'000'000;
+  for (std::uint64_t i = 0; i < n; ++i) r.add(i, rng.uniform() * 10 + 0.1);
+  const auto out = r.query_log();
+  ASSERT_EQ(out.size(), q);
+  for (const auto& e : out) {
+    EXPECT_TRUE(std::isfinite(e.val));
+    EXPECT_GE(e.id, n - 200) << "with c=0.9 only very recent items survive";
+  }
+  r.reset();
+  EXPECT_EQ(r.processed(), 0u);
+}
+
+}  // namespace

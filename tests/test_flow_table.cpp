@@ -1,0 +1,145 @@
+// Flow table substrate: EMC semantics, masked classification, two-tier
+// lookup statistics.
+#include "vswitch/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace qmax::vswitch;
+using qmax::trace::FiveTuple;
+using qmax::trace::Proto;
+
+FiveTuple tuple(std::uint32_t src, std::uint32_t dst = 1,
+                std::uint16_t sport = 10, std::uint16_t dport = 80) {
+  FiveTuple t;
+  t.src_ip = src;
+  t.dst_ip = dst;
+  t.src_port = sport;
+  t.dst_port = dport;
+  t.proto = Proto::kTcp;
+  return t;
+}
+
+TEST(ExactMatchCache, InsertLookup) {
+  ExactMatchCache emc(64);
+  EXPECT_FALSE(emc.lookup(tuple(1)).has_value());
+  emc.insert(tuple(1), Action{7});
+  auto hit = emc.lookup(tuple(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->out_port, 7);
+  EXPECT_FALSE(emc.lookup(tuple(2)).has_value());
+}
+
+TEST(ExactMatchCache, ConflictOverwrites) {
+  // Direct-mapped: two tuples in the same slot evict each other, never
+  // return wrong actions.
+  ExactMatchCache emc(64);
+  qmax::common::Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto t = tuple(rng.bounded(1'000), rng.bounded(1'000));
+    emc.insert(t, Action{static_cast<std::uint16_t>(t.src_ip & 0xFF)});
+    auto hit = emc.lookup(t);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->out_port, t.src_ip & 0xFF);
+  }
+}
+
+TEST(ExactMatchCache, ClearEmpties) {
+  ExactMatchCache emc(64);
+  emc.insert(tuple(1), Action{1});
+  emc.clear();
+  EXPECT_FALSE(emc.lookup(tuple(1)).has_value());
+}
+
+TEST(TupleSpaceClassifier, MaskedMatching) {
+  TupleSpaceClassifier cls;
+  FlowMask mask;  // match low byte of src_ip only
+  mask.src_ip = 0xFF;
+  mask.dst_ip = 0;
+  mask.src_port = 0;
+  mask.dst_port = 0;
+  mask.proto = 0;
+  FiveTuple match;
+  match.src_ip = 0x42;
+  cls.add_rule(mask, match, Action{9});
+
+  // Any tuple whose src_ip low byte is 0x42 hits, regardless of the rest.
+  auto hit = cls.lookup(tuple(0xAABB0042, 77, 1234, 4321));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->out_port, 9);
+  EXPECT_FALSE(cls.lookup(tuple(0xAABB0043)).has_value());
+}
+
+TEST(TupleSpaceClassifier, MultipleSubtablesFirstHitWins) {
+  TupleSpaceClassifier cls;
+  FlowMask exact;  // full 5-tuple
+  cls.add_rule(exact, tuple(5), Action{1});
+  FlowMask by_src;
+  by_src.src_ip = 0xFFFFFFFF;
+  by_src.dst_ip = 0;
+  by_src.src_port = 0;
+  by_src.dst_port = 0;
+  by_src.proto = 0;
+  FiveTuple m;
+  m.src_ip = 5;
+  cls.add_rule(by_src, m, Action{2});
+
+  EXPECT_EQ(cls.subtable_count(), 2u);
+  // Exact rule (inserted first) wins for the exact tuple...
+  EXPECT_EQ(cls.lookup(tuple(5))->out_port, 1);
+  // ...while a different dst still matches the src-only rule.
+  EXPECT_EQ(cls.lookup(tuple(5, 99))->out_port, 2);
+}
+
+TEST(TupleSpaceClassifier, GrowsPastInitialCapacity) {
+  TupleSpaceClassifier cls;
+  FlowMask exact;
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    cls.add_rule(exact, tuple(i), Action{static_cast<std::uint16_t>(i)});
+  }
+  EXPECT_EQ(cls.rule_count(), 5'000u);
+  for (std::uint32_t i = 0; i < 5'000; i += 97) {
+    auto hit = cls.lookup(tuple(i));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->out_port, static_cast<std::uint16_t>(i));
+  }
+}
+
+TEST(TupleSpaceClassifier, UpdateInPlace) {
+  TupleSpaceClassifier cls;
+  FlowMask exact;
+  cls.add_rule(exact, tuple(1), Action{1});
+  cls.add_rule(exact, tuple(1), Action{2});
+  EXPECT_EQ(cls.rule_count(), 1u);
+  EXPECT_EQ(cls.lookup(tuple(1))->out_port, 2);
+}
+
+TEST(FlowTable, TwoTierStatistics) {
+  FlowTable table(64);
+  FlowMask by_src_low;
+  by_src_low.src_ip = 0xFF;
+  by_src_low.dst_ip = 0;
+  by_src_low.src_port = 0;
+  by_src_low.dst_port = 0;
+  by_src_low.proto = 0;
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    FiveTuple m;
+    m.src_ip = b;
+    table.add_rule(by_src_low, m, Action{static_cast<std::uint16_t>(b)});
+  }
+
+  // First lookup of a tuple: classifier hit + EMC refill; second: EMC hit.
+  const auto t = tuple(0x1234);
+  ASSERT_TRUE(table.lookup(t).has_value());
+  EXPECT_EQ(table.classifier_hits(), 1u);
+  EXPECT_EQ(table.emc_hits(), 0u);
+  ASSERT_TRUE(table.lookup(t).has_value());
+  EXPECT_EQ(table.emc_hits(), 1u);
+  EXPECT_EQ(table.misses(), 0u);
+}
+
+}  // namespace

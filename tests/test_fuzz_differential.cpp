@@ -1,0 +1,114 @@
+// Randomized differential fuzzing: interleaved add / query / reset
+// operation sequences executed simultaneously against every reservoir and
+// the trivially-correct multiset oracle. Any divergence in the returned
+// value multisets is a bug in one of the structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "baselines/sorted_qmax.hpp"
+#include "common/random.hpp"
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::QMax;
+using qmax::common::Xoshiro256;
+
+template <typename R>
+std::vector<double> snapshot(const R& r) {
+  std::vector<double> v;
+  for (const auto& e : r.query()) v.push_back(e.val);
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+struct FuzzParam {
+  std::uint64_t seed;
+  std::size_t q;
+  double gamma;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(DifferentialFuzz, AllBackendsAgreeUnderRandomOps) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.seed);
+
+  QMax<> deam(p.q, p.gamma);
+  AmortizedQMax<> amort(p.q, p.gamma);
+  qmax::baselines::HeapQMax<> heap(p.q);
+  qmax::baselines::SkipListQMax<> skip(p.q);
+  qmax::baselines::SortedQMax<> oracle(p.q);
+
+  std::uint64_t next_id = 0;
+  const int ops = 30'000;
+  for (int op = 0; op < ops; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.90) {
+      // Value generator mixes scales, ties, negatives and extremes.
+      double v;
+      const double kind = rng.uniform();
+      if (kind < 0.3) v = double(rng.bounded(16));          // ties
+      else if (kind < 0.6) v = rng.uniform();               // dense
+      else if (kind < 0.8) v = rng.uniform() * 1e12;        // large
+      else if (kind < 0.95) v = -rng.uniform() * 1e6;       // negative
+      else v = (op % 2 != 0) ? 1e308 : -1e308;              // extremes
+      const std::uint64_t id = next_id++;
+      deam.add(id, v);
+      amort.add(id, v);
+      heap.add(id, v);
+      skip.add(id, v);
+      oracle.add(id, v);
+    } else if (dice < 0.995) {
+      const auto expect = snapshot(oracle);
+      ASSERT_EQ(snapshot(deam), expect) << "QMax diverged at op " << op;
+      ASSERT_EQ(snapshot(amort), expect)
+          << "AmortizedQMax diverged at op " << op;
+      ASSERT_EQ(snapshot(heap), expect) << "Heap diverged at op " << op;
+      ASSERT_EQ(snapshot(skip), expect) << "SkipList diverged at op " << op;
+    } else {
+      deam.reset();
+      amort.reset();
+      heap.reset();
+      skip.reset();
+      oracle.reset();
+    }
+  }
+  const auto expect = snapshot(oracle);
+  EXPECT_EQ(snapshot(deam), expect);
+  EXPECT_EQ(snapshot(amort), expect);
+  EXPECT_EQ(snapshot(heap), expect);
+  EXPECT_EQ(snapshot(skip), expect);
+}
+
+std::vector<FuzzParam> fuzz_grid() {
+  std::vector<FuzzParam> g;
+  std::uint64_t seed = 1;
+  for (std::size_t q : {1ul, 3ul, 17ul, 128ul, 1000ul}) {
+    for (double gamma : {0.01, 0.3, 1.5}) {
+      g.push_back(FuzzParam{seed++, q, gamma});
+    }
+  }
+  return g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DifferentialFuzz,
+                         ::testing::ValuesIn(fuzz_grid()),
+                         [](const auto& param_info) {
+                           std::string name = "s";
+                           name += std::to_string(param_info.param.seed);
+                           name += "_q";
+                           name += std::to_string(param_info.param.q);
+                           name += "_g";
+                           name += std::to_string(
+                               int(param_info.param.gamma * 100));
+                           return name;
+                         });
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Hash-quality and determinism tests.
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace qmax::common;
+
+TEST(XxHash64, KnownVectors) {
+  // Reference digests from the canonical xxHash implementation.
+  EXPECT_EQ(xxhash64("", 0, 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxhash64("a", 1, 0), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxhash64("abc", 3, 0), 0x44BC2CF5AD770999ULL);
+  const std::string long_input(101, 'x');
+  EXPECT_EQ(xxhash64(long_input.data(), long_input.size(), 0),
+            xxhash64(long_input.data(), long_input.size(), 0));
+}
+
+TEST(XxHash64, SeedChangesDigest) {
+  const char* msg = "q-MAX";
+  EXPECT_NE(xxhash64(msg, 5, 0), xxhash64(msg, 5, 1));
+}
+
+TEST(XxHash64, AllLengthsConsistent) {
+  // Exercise every tail-handling branch (0..40 bytes).
+  std::vector<unsigned char> buf(40);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 17 + 3);
+  }
+  std::set<std::uint64_t> digests;
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    digests.insert(xxhash64(buf.data(), len, 7));
+  }
+  EXPECT_EQ(digests.size(), buf.size() + 1) << "lengths must not collide";
+}
+
+TEST(Mix64, Bijective) {
+  // mix64 is invertible; distinct inputs map to distinct outputs.
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10'000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 10'000u);
+}
+
+TEST(Hash64, SeedsActIndependently) {
+  // Correlation smoke test: the same keys under two seeds should agree on
+  // the high bit about half the time.
+  int agreements = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const bool a = hash64(i, 1) >> 63;
+    const bool b = hash64(i, 2) >> 63;
+    agreements += (a == b);
+  }
+  EXPECT_NEAR(agreements, n / 2, 1'500);
+}
+
+TEST(UnitInterval, RangeAndGranularity) {
+  EXPECT_GE(to_unit_interval(0), 0.0);
+  EXPECT_LT(to_unit_interval(~0ULL), 1.0);
+  EXPECT_GT(to_unit_interval_open0(0), 0.0);
+  EXPECT_LE(to_unit_interval_open0(~0ULL), 1.0);
+}
+
+TEST(UnitInterval, UniformityBuckets) {
+  int buckets[10] = {};
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    const double u = to_unit_interval(hash64(i, 99));
+    buckets[static_cast<int>(u * 10)]++;
+  }
+  for (int b : buckets) EXPECT_NEAR(b, 10'000, 500);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Cross-module integration: the full telemetry stack end to end —
+// synthetic traces → multi-PMD virtual switch → shared-memory rings →
+// measurement applications → controller-level answers vs ground truth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/count_distinct.hpp"
+#include "apps/nwhh.hpp"
+#include "apps/priority_sampling.hpp"
+#include "cache/lrfu_qmax_deamortized.hpp"
+#include "qmax/qmax.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
+#include "vswitch/multi_pmd.hpp"
+
+namespace {
+
+using namespace qmax;
+using apps::Nmp;
+using apps::NwhhController;
+using apps::PacketSample;
+using apps::PrioritySampler;
+using apps::WeightedKey;
+using trace::CaidaLikeGenerator;
+using trace::take_packets;
+using vswitch::MonitorRecord;
+using vswitch::MultiPmdConfig;
+using vswitch::MultiPmdSwitch;
+
+TEST(Integration, PerPmdNmpsMergeToNetworkWideView) {
+  // One NMP per PMD (the paper's OVS deployment: one shared-memory block
+  // per PMD thread, one measurement consumer). The controller's merged
+  // view must find planted heavy hitters despite each NMP seeing only its
+  // RSS slice.
+  const std::size_t k = 1'024;
+  using R = QMax<PacketSample, double>;
+  MultiPmdSwitch sw(MultiPmdConfig{.pmd_threads = 3});
+  sw.install_default_rules();
+
+  std::vector<Nmp<R>> nmps;
+  for (int i = 0; i < 3; ++i) nmps.emplace_back(k, R(k, 0.25));
+
+  // Planted traffic: flow 0xBEEF carries 25% of packets.
+  common::Xoshiro256 rng(1);
+  std::vector<trace::PacketRecord> packets;
+  std::uint64_t beef_truth = 0;
+  for (std::uint64_t pid = 0; pid < 200'000; ++pid) {
+    trace::PacketRecord p;
+    std::uint32_t src;
+    if (rng.uniform() < 0.25) {
+      src = 0xBEEF;
+      ++beef_truth;
+    } else {
+      src = 0x10000 + std::uint32_t(rng.bounded(50'000));
+    }
+    p.tuple.src_ip = src;
+    p.tuple.dst_ip = std::uint32_t(rng.bounded(256));
+    p.tuple.src_port = std::uint16_t(rng.bounded(65'536));
+    p.length = 64;
+    p.packet_id = pid;
+    packets.push_back(p);
+  }
+
+  sw.forward_monitored(packets, [&](std::size_t pmd, const MonitorRecord& r) {
+    nmps[pmd].observe(r.packet_id, r.src_ip);
+  });
+
+  NwhhController ctl(k);
+  for (const auto& nmp : nmps) ctl.collect(nmp);
+
+  EXPECT_NEAR(ctl.total_packets(), 200'000.0, 200'000.0 * 0.12);
+  EXPECT_NEAR(ctl.estimate(0xBEEF), double(beef_truth),
+              double(beef_truth) * 0.2);
+  bool found = false;
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.15)) {
+    found |= (flow == 0xBEEF);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Integration, PrioritySamplingThroughSwitchEstimatesBytes) {
+  const std::size_t k = 2'048;
+  using R = QMax<WeightedKey, double>;
+  MultiPmdSwitch sw(MultiPmdConfig{.pmd_threads = 2});
+  sw.install_default_rules();
+  CaidaLikeGenerator gen({.flows = 50'000, .zipf_skew = 1.0, .seed = 2});
+  const auto packets = take_packets(gen, 100'000);
+
+  PrioritySampler<R> sampler(k, R(k + 1, 0.25));
+  sw.forward_monitored(packets, [&](std::size_t, const MonitorRecord& r) {
+    sampler.add(r.packet_id, double(r.length));
+  });
+
+  double truth = 0;
+  for (const auto& p : packets) truth += p.length;
+  EXPECT_NEAR(sampler.total_sum(), truth, truth * 0.10);
+}
+
+TEST(Integration, CountDistinctThroughSwitchCountsFlows) {
+  MultiPmdSwitch sw(MultiPmdConfig{.pmd_threads = 2});
+  sw.install_default_rules();
+  // Exactly 5000 distinct source IPs.
+  std::vector<trace::PacketRecord> packets;
+  common::Xoshiro256 rng(3);
+  for (std::uint64_t pid = 0; pid < 100'000; ++pid) {
+    trace::PacketRecord p;
+    p.tuple.src_ip = std::uint32_t(rng.bounded(5'000));
+    p.length = 64;
+    p.packet_id = pid;
+    packets.push_back(p);
+  }
+  apps::CountDistinct cd(512, 0.25, /*seed=*/4);
+  sw.forward_monitored(packets, [&](std::size_t, const MonitorRecord& r) {
+    cd.add(r.src_ip);
+  });
+  EXPECT_NEAR(cd.estimate(), 5'000.0, 5'000.0 * 0.15);
+}
+
+TEST(Integration, TraceRoundTripFeedsIdenticalMeasurements) {
+  // Persist a trace, reload it, and verify a measurement pipeline gives
+  // bit-identical answers — the reproducibility contract of trace_io.
+  CaidaLikeGenerator gen({.flows = 10'000, .zipf_skew = 1.1, .seed = 5});
+  const auto packets = take_packets(gen, 20'000);
+  const auto path =
+      std::filesystem::temp_directory_path() / "qmax_integration_trace.bin";
+  trace::write_trace(path, packets);
+  const auto reloaded = trace::read_trace(path);
+  std::filesystem::remove(path);
+
+  auto run = [](const std::vector<trace::PacketRecord>& pkts) {
+    QMax<> r(64, 0.25);
+    for (const auto& p : pkts) r.add(p.packet_id, double(p.length));
+    auto out = r.query();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.id < b.id;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(packets), run(reloaded));
+}
+
+TEST(Integration, CacheInFrontOfMeasurementPipeline) {
+  // A block cache using the deamortized LRFU absorbs repeated flow-table
+  // "lookups" generated from a trace; the hit ratio must reflect the
+  // trace's skew (hot flows cached).
+  CaidaLikeGenerator gen({.flows = 5'000, .zipf_skew = 1.2, .seed = 6});
+  cache::LrfuQMaxCacheDeamortized<> flow_cache(500, 0.9, 0.25);
+  std::uint64_t packets = 200'000;
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    flow_cache.access(gen.next().tuple.flow_key());
+  }
+  // Zipf(1.2) over 5k flows: top-500 carry well over half the packets.
+  EXPECT_GT(flow_cache.hit_ratio(), 0.5);
+  EXPECT_EQ(flow_cache.accesses(), packets);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Deamortized q-MAX LRFU (Figure 3): semantics against the exact and
+// amortized caches, worst-case behaviour of the chunked machinery.
+#include "cache/lrfu_qmax_deamortized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/lrfu_exact.hpp"
+#include "cache/lrfu_qmax.hpp"
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using qmax::cache::LrfuCache;
+using qmax::cache::LrfuQMaxCache;
+using qmax::cache::LrfuQMaxCacheDeamortized;
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+TEST(LrfuDeamortized, RejectsBadParameters) {
+  EXPECT_THROW(LrfuQMaxCacheDeamortized<>(0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(LrfuQMaxCacheDeamortized<>(4, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(LrfuQMaxCacheDeamortized<>(4, 1.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(LrfuQMaxCacheDeamortized<>(4, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST(LrfuDeamortized, HitMissAccounting) {
+  LrfuQMaxCacheDeamortized<> c(4, 0.75, 0.5);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(LrfuDeamortized, ScoreMatchesDefinition) {
+  LrfuQMaxCacheDeamortized<> c(8, 0.5, 0.5);
+  c.access(7);
+  c.access(7);
+  c.access(7);
+  EXPECT_NEAR(c.score(7), 0.875, 1e-9);  // 0.5^3 + 0.5^2 + 0.5
+}
+
+TEST(LrfuDeamortized, HotKeysAreNeverEvicted) {
+  const std::size_t q = 16;
+  LrfuQMaxCacheDeamortized<> c(q, 0.9, 0.25);
+  Xoshiro256 rng(1);
+  for (int round = 0; round < 5'000; ++round) {
+    for (std::uint64_t hot = 0; hot < 8; ++hot) c.access(hot);
+    c.access(100 + rng.bounded(1'000'000));  // cold churn
+  }
+  for (std::uint64_t hot = 0; hot < 8; ++hot) {
+    EXPECT_TRUE(c.contains(hot)) << "hot key " << hot;
+  }
+}
+
+TEST(LrfuDeamortized, SizeStaysWithinBand) {
+  const std::size_t q = 64;
+  const double gamma = 0.5;
+  LrfuQMaxCacheDeamortized<> c(q, 0.75, gamma);
+  Xoshiro256 rng(2);
+  std::size_t max_size = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    c.access(rng.bounded(1'000'000));  // maximal churn: all misses
+    max_size = std::max(max_size, c.size());
+  }
+  // Cached keys live in the candidate region + scratch + the lazily
+  // reconciled loser region: at most q + 2g = q(1+γ) slots.
+  EXPECT_LE(max_size, q + 2 * std::size_t(std::ceil(q * gamma / 2.0)) + 1);
+  EXPECT_GE(c.size(), q / 2);
+}
+
+TEST(LrfuDeamortized, HitRatioTracksAmortizedVariant) {
+  const std::size_t q = 500;
+  const double decay = 0.75, gamma = 0.5;
+  LrfuQMaxCacheDeamortized<> deam(q, decay, gamma);
+  LrfuQMaxCache<> amort(q, decay, gamma);
+  qmax::trace::CacheTraceGenerator gen(
+      qmax::trace::CacheTraceGenerator::Config{.working_set = 20'000,
+                                               .zipf_skew = 0.9,
+                                               .seed = 5});
+  for (int i = 0; i < 300'000; ++i) {
+    const auto k = gen.next();
+    deam.access(k);
+    amort.access(k);
+  }
+  EXPECT_NEAR(deam.hit_ratio(), amort.hit_ratio(), 0.02)
+      << "deamortization changed the policy, not just the schedule";
+}
+
+TEST(LrfuDeamortized, SitsBetweenExactCaches) {
+  const std::size_t q = 500;
+  const double decay = 0.75, gamma = 0.5;
+  LrfuCache<> small(q, decay);
+  LrfuQMaxCacheDeamortized<> mid(q, decay, gamma);
+  LrfuCache<> large(std::size_t(q * (1 + gamma)), decay);
+  qmax::trace::CacheTraceGenerator gen(
+      qmax::trace::CacheTraceGenerator::Config{.working_set = 20'000,
+                                               .zipf_skew = 0.9,
+                                               .seed = 6});
+  for (int i = 0; i < 300'000; ++i) {
+    const auto k = gen.next();
+    small.access(k);
+    mid.access(k);
+    large.access(k);
+  }
+  EXPECT_GE(mid.hit_ratio(), small.hit_ratio() - 0.015);
+  EXPECT_LE(mid.hit_ratio(), large.hit_ratio() + 0.015);
+}
+
+TEST(LrfuDeamortized, SelectionFinishesOnTimeOnRealTraces) {
+  LrfuQMaxCacheDeamortized<> c(10'000, 0.75, 0.25);
+  qmax::trace::CacheTraceGenerator gen;
+  for (int i = 0; i < 500'000; ++i) c.access(gen.next());
+  EXPECT_EQ(c.late_selections(), 0u);
+}
+
+TEST(LrfuDeamortized, LongRunNumericallyStable) {
+  LrfuQMaxCacheDeamortized<> c(64, 0.9, 0.5);
+  Xoshiro256 rng(3);
+  ZipfGenerator zipf(1'000, 1.0);
+  for (int i = 0; i < 1'000'000; ++i) c.access(zipf(rng));
+  const double s = c.score(1);
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_LE(s, 1.0 / (1.0 - 0.9) + 1e-6);
+}
+
+TEST(LrfuDeamortized, ResetClears) {
+  LrfuQMaxCacheDeamortized<> c(8, 0.75, 0.5);
+  for (int i = 0; i < 1'000; ++i) c.access(i % 20);
+  c.reset();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.access(3));
+  EXPECT_TRUE(c.access(3));
+}
+
+TEST(LrfuDeamortized, TinyCache) {
+  LrfuQMaxCacheDeamortized<> c(1, 0.5, 0.5);
+  for (int i = 0; i < 1'000; ++i) c.access(i % 3);
+  EXPECT_GE(c.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Network-wide simulation: topology/routing substrate and the
+// routing-obliviousness property of the merged NWHH sample.
+#include "netwide/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using namespace qmax::netwide;
+using qmax::QMax;
+using qmax::apps::PacketSample;
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+using R = QMax<PacketSample, double>;
+
+TEST(Topology, LinePaths) {
+  const auto t = Topology::line(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.path(0, 4), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(t.path(3, 1), (std::vector<NodeId>{3, 2, 1}));
+  EXPECT_EQ(t.path(2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(Topology, StarRoutesThroughHub) {
+  const auto t = Topology::star(4);  // hub 0, leaves 1..4
+  const auto p = t.path(1, 3);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 0u);
+}
+
+TEST(Topology, RingTakesShorterArc) {
+  const auto t = Topology::ring(6);
+  EXPECT_EQ(t.path(0, 5).size(), 2u);  // wrap-around edge
+  EXPECT_EQ(t.path(0, 3).size(), 4u);
+}
+
+TEST(Topology, DisconnectedIsEmpty) {
+  Topology t;
+  t.add_node();
+  t.add_node();
+  EXPECT_TRUE(t.path(0, 1).empty());
+  EXPECT_THROW(t.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(0, 9), std::invalid_argument);
+}
+
+TEST(Topology, RandomConnectedIsConnected) {
+  const auto t = Topology::random_connected(20, 15, 7);
+  for (NodeId n = 1; n < 20; ++n) {
+    EXPECT_FALSE(t.path(0, n).empty()) << "node " << n << " unreachable";
+  }
+}
+
+// The central claim (paper §2.6): the merged sample depends only on the
+// distinct packet population, not on topology or routing. Send the SAME
+// packets over three different topologies/routings and compare the
+// controllers' samples packet-for-packet.
+TEST(Netwide, RoutingObliviousSampleIsTopologyInvariant) {
+  const std::size_t k = 256;
+  const std::uint64_t seed = 42;
+  auto factory = [&] { return R(k, 0.5); };
+
+  NetwideSimulation<R> on_line(Topology::line(6), k, factory, seed);
+  NetwideSimulation<R> on_star(Topology::star(5), k, factory, seed);
+  NetwideSimulation<R> on_mesh(Topology::random_connected(6, 8, 3), k,
+                               factory, seed);
+
+  Xoshiro256 rng(1);
+  ZipfGenerator zipf(2'000, 1.1);
+  for (std::uint64_t pid = 0; pid < 50'000; ++pid) {
+    const std::uint64_t flow = zipf(rng);
+    const NodeId src = rng.bounded(6);
+    NodeId dst = rng.bounded(6);
+    if (dst == src) dst = (dst + 1) % 6;
+    on_line.inject(pid, flow, src, dst);
+    on_star.inject(pid, flow, src, dst);
+    on_mesh.inject(pid, flow, src, dst);
+  }
+  // Redundancy differs wildly between topologies...
+  EXPECT_NE(on_line.observations(), on_star.observations());
+  // ...but the merged samples are identical, packet for packet.
+  const auto ctl_line = on_line.collect();
+  const auto ctl_star = on_star.collect();
+  const auto ctl_mesh = on_mesh.collect();
+  ASSERT_EQ(ctl_line.sample().size(), ctl_star.sample().size());
+  ASSERT_EQ(ctl_line.sample().size(), ctl_mesh.sample().size());
+  for (std::size_t i = 0; i < ctl_line.sample().size(); ++i) {
+    EXPECT_EQ(ctl_line.sample()[i].id.packet_id,
+              ctl_star.sample()[i].id.packet_id);
+    EXPECT_EQ(ctl_line.sample()[i].id.packet_id,
+              ctl_mesh.sample()[i].id.packet_id);
+  }
+}
+
+TEST(Netwide, HeavyHittersFoundAcrossTheFabric) {
+  const std::size_t k = 1'024;
+  NetwideSimulation<R> sim(Topology::random_connected(10, 10, 5), k,
+                           [&] { return R(k, 0.25); });
+  Xoshiro256 rng(2);
+  const std::uint64_t packets = 100'000;
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const std::uint64_t flow =
+        rng.uniform() < 0.25 ? 77 : 1'000 + rng.bounded(20'000);
+    const NodeId src = rng.bounded(10);
+    NodeId dst = rng.bounded(10);
+    if (dst == src) dst = (dst + 1) % 10;
+    sim.inject(pid, flow, src, dst);
+  }
+  const auto ctl = sim.collect();
+  EXPECT_NEAR(ctl.total_packets(), double(packets), double(packets) * 0.12);
+  bool found = false;
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.15)) {
+    found |= (flow == 77);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netwide, PartialVisibilityStillCountsOnce) {
+  // Tap-style deployment: only two NMPs, each seeing half the packets
+  // plus an overlapping quarter. The distinct population is recovered.
+  const std::size_t k = 512;
+  NetwideSimulation<R> sim(Topology::line(2), k, [&] { return R(k, 0.25); });
+  Xoshiro256 rng(3);
+  const std::uint64_t packets = 60'000;
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const std::uint64_t flow = rng.bounded(100);
+    const double u = rng.uniform();
+    if (u < 0.5) sim.observe_at(0, pid, flow);
+    if (u >= 0.25) sim.observe_at(1, pid, flow);
+  }
+  const auto ctl = sim.collect();
+  EXPECT_NEAR(ctl.total_packets(), double(packets), double(packets) * 0.15);
+}
+
+}  // namespace

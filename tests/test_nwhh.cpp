@@ -1,0 +1,183 @@
+// Network-wide heavy hitters: no double counting across overlapping NMPs,
+// frequency accuracy, heavy-hitter completeness, and the sliding-window
+// variant of Theorem 8.
+#include "apps/nwhh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/heap_qmax.hpp"
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using qmax::QMax;
+using qmax::SlackQMax;
+using qmax::apps::Nmp;
+using qmax::apps::NwhhController;
+using qmax::apps::NwhhEntry;
+using qmax::apps::PacketSample;
+using qmax::apps::nwhh_sample_size;
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+using QMaxR = QMax<PacketSample, double>;
+using HeapR = qmax::baselines::HeapQMax<PacketSample, double>;
+
+TEST(Nwhh, SampleSizeFormula) {
+  // k = ln(2/δ)/(2ε²): spot values.
+  EXPECT_EQ(nwhh_sample_size(0.1, 0.05), 185u);
+  EXPECT_GT(nwhh_sample_size(0.01, 0.05), 18'000u);
+}
+
+TEST(Nwhh, NoDoubleCountingAcrossOverlappingNmps) {
+  // Every packet traverses BOTH NMPs; the merged total must reflect the
+  // distinct packet population, not twice that.
+  const std::size_t k = 512;
+  Nmp<HeapR> nmp1(k, HeapR(k)), nmp2(k, HeapR(k));
+  const std::uint64_t packets = 100'000;
+  Xoshiro256 rng(1);
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const std::uint64_t flow = rng.bounded(100);
+    nmp1.observe(pid, flow);
+    nmp2.observe(pid, flow);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp1);
+  ctl.collect(nmp2);
+  EXPECT_NEAR(ctl.total_packets(), double(packets), double(packets) * 0.15);
+}
+
+TEST(Nwhh, PartitionedTrafficSumsUp) {
+  // Packets split across NMPs with no overlap: the union is measured.
+  const std::size_t k = 512;
+  Nmp<HeapR> nmp1(k, HeapR(k)), nmp2(k, HeapR(k)), nmp3(k, HeapR(k));
+  const std::uint64_t packets = 90'000;
+  Xoshiro256 rng(2);
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const std::uint64_t flow = rng.bounded(50);
+    if (pid % 3 == 0) nmp1.observe(pid, flow);
+    if (pid % 3 == 1) nmp2.observe(pid, flow);
+    if (pid % 3 == 2) nmp3.observe(pid, flow);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp1);
+  ctl.collect(nmp2);
+  ctl.collect(nmp3);
+  EXPECT_NEAR(ctl.total_packets(), double(packets), double(packets) * 0.15);
+}
+
+TEST(Nwhh, FrequencyEstimatesWithinEpsilon) {
+  const double eps = 0.03, delta = 0.05;
+  const std::size_t k = nwhh_sample_size(eps, delta);
+  Nmp<QMaxR> nmp(k, QMaxR(k, 0.25));
+  const std::uint64_t packets = 200'000;
+  // Flow 7 takes 20% of traffic; the rest is uniform noise.
+  Xoshiro256 rng(3);
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const std::uint64_t flow = rng.uniform() < 0.2 ? 7 : 100 + rng.bounded(1'000);
+    nmp.observe(pid, flow);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  EXPECT_NEAR(ctl.estimate(7), 0.2 * double(packets),
+              2.0 * eps * double(packets));
+}
+
+TEST(Nwhh, HeavyHittersHaveNoFalseNegatives) {
+  const std::size_t k = 2'000;
+  Nmp<QMaxR> nmp(k, QMaxR(k, 0.25));
+  Xoshiro256 rng(4);
+  // Three planted heavy flows at 30%/20%/10%, rest uniform.
+  std::map<std::uint64_t, std::uint64_t> truth;
+  const std::uint64_t packets = 150'000;
+  for (std::uint64_t pid = 0; pid < packets; ++pid) {
+    const double u = rng.uniform();
+    std::uint64_t flow;
+    if (u < 0.30) flow = 1;
+    else if (u < 0.50) flow = 2;
+    else if (u < 0.60) flow = 3;
+    else flow = 1'000 + rng.bounded(10'000);
+    ++truth[flow];
+    nmp.observe(pid, flow);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  // Query at 8%: flows 1-3 (≥10%) must all be reported.
+  std::set<std::uint64_t> reported;
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.08)) {
+    reported.insert(flow);
+  }
+  EXPECT_TRUE(reported.count(1));
+  EXPECT_TRUE(reported.count(2));
+  EXPECT_TRUE(reported.count(3));
+}
+
+TEST(Nwhh, BackendsProduceIdenticalSamples) {
+  const std::size_t k = 256;
+  Nmp<QMaxR> a(k, QMaxR(k, 0.5));
+  Nmp<HeapR> b(k, HeapR(k));
+  Xoshiro256 rng(5);
+  for (std::uint64_t pid = 0; pid < 50'000; ++pid) {
+    const std::uint64_t flow = rng.bounded(64);
+    a.observe(pid, flow);
+    b.observe(pid, flow);
+  }
+  NwhhController ca(k), cb(k);
+  ca.collect(a);
+  cb.collect(b);
+  ASSERT_EQ(ca.sample().size(), cb.sample().size());
+  for (std::size_t i = 0; i < ca.sample().size(); ++i) {
+    EXPECT_EQ(ca.sample()[i].id.packet_id, cb.sample()[i].id.packet_id);
+  }
+}
+
+TEST(NwhhSliding, WindowedSampleForgetsOldTraffic) {
+  // Theorem 8: an NMP over a slack-window reservoir. Flood flow 99 early,
+  // then send only uniform traffic for >> W packets: flow 99 must vanish
+  // from the heavy-hitter report.
+  const std::size_t k = 256;
+  const std::uint64_t window = 20'000;
+  using SlidingR = SlackQMax<QMaxR>;
+  SlidingR sliding(window, 0.1, [&] { return QMaxR(k, 0.5); });
+  Nmp<SlidingR> nmp(k, std::move(sliding));
+  std::uint64_t pid = 0;
+  for (; pid < 30'000; ++pid) nmp.observe(pid, 99);
+  Xoshiro256 rng(6);
+  for (std::uint64_t i = 0; i < 3 * window; ++i, ++pid) {
+    nmp.observe(pid, 1'000 + rng.bounded(500));
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.05)) {
+    EXPECT_NE(flow, 99u) << "expired flow still reported as heavy";
+  }
+}
+
+TEST(NwhhSliding, RecentHeavyFlowIsReported) {
+  const std::size_t k = 512;
+  const std::uint64_t window = 10'000;
+  using SlidingR = SlackQMax<QMaxR>;
+  Nmp<SlidingR> nmp(k, SlidingR(window, 0.1, [&] { return QMaxR(k, 0.5); }));
+  Xoshiro256 rng(7);
+  std::uint64_t pid = 0;
+  // Background noise then a recent 40% burst of flow 5.
+  for (std::uint64_t i = 0; i < 50'000; ++i, ++pid) {
+    nmp.observe(pid, 1'000 + rng.bounded(2'000));
+  }
+  for (std::uint64_t i = 0; i < window; ++i, ++pid) {
+    nmp.observe(pid, rng.uniform() < 0.4 ? 5 : 1'000 + rng.bounded(2'000));
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  bool found = false;
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.2)) found |= (flow == 5);
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Priority Sampling: estimator correctness across all reservoir backends.
+#include "apps/priority_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "common/random.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::apps::PrioritySampler;
+using qmax::apps::SamplingEntry;
+using qmax::apps::WeightedKey;
+using qmax::common::Xoshiro256;
+
+using QMaxR = qmax::QMax<WeightedKey, double>;
+using HeapR = qmax::baselines::HeapQMax<WeightedKey, double>;
+using SkipR = qmax::baselines::SkipListQMax<WeightedKey, double>;
+
+TEST(PrioritySampling, SmallStreamIsSampledEntirely) {
+  PrioritySampler<HeapR> ps(10, HeapR(11));
+  for (std::uint64_t k = 1; k <= 5; ++k) ps.add(k, double(k));
+  const auto sample = ps.sample();
+  EXPECT_EQ(sample.size(), 5u);
+  // Below k keys the estimates are the exact weights (τ = 0).
+  double total = 0;
+  for (const auto& s : sample) {
+    EXPECT_DOUBLE_EQ(s.estimate, s.weight);
+    total += s.estimate;
+  }
+  EXPECT_DOUBLE_EQ(total, 15.0);
+}
+
+TEST(PrioritySampling, SampleSizeIsK) {
+  PrioritySampler<HeapR> ps(32, HeapR(33));
+  Xoshiro256 rng(1);
+  for (std::uint64_t k = 0; k < 10'000; ++k) ps.add(k, rng.uniform() * 100);
+  EXPECT_EQ(ps.sample().size(), 32u);
+}
+
+TEST(PrioritySampling, HeavyKeysAreSampledPreferentially) {
+  // 10 keys with weight 1000, 10k keys with weight 1: the heavy keys must
+  // essentially always be in a k=64 sample.
+  PrioritySampler<HeapR> ps(64, HeapR(65), /*seed=*/7);
+  for (std::uint64_t k = 0; k < 10; ++k) ps.add(k, 1000.0);
+  for (std::uint64_t k = 100; k < 10'100; ++k) ps.add(k, 1.0);
+  int heavy_in_sample = 0;
+  for (const auto& s : ps.sample()) heavy_in_sample += (s.key < 10);
+  EXPECT_GE(heavy_in_sample, 9);
+}
+
+// The core statistical property: subset sums are unbiased. Average over
+// independent seeds and check convergence to the true sum.
+TEST(PrioritySampling, SubsetSumIsUnbiased) {
+  const std::size_t n = 2'000;
+  Xoshiro256 wrng(3);
+  std::vector<double> weights(n);
+  double true_even_sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = wrng.uniform() < 0.1 ? wrng.uniform() * 200 : wrng.uniform();
+    if (k % 2 == 0) true_even_sum += weights[k];
+  }
+  const int trials = 40;
+  double mean_est = 0;
+  for (int t = 0; t < trials; ++t) {
+    PrioritySampler<HeapR> ps(128, HeapR(129), /*seed=*/1000 + t);
+    for (std::size_t k = 0; k < n; ++k) ps.add(k, weights[k]);
+    mean_est += ps.subset_sum([](std::uint64_t k) { return k % 2 == 0; });
+  }
+  mean_est /= trials;
+  EXPECT_NEAR(mean_est, true_even_sum, true_even_sum * 0.15);
+}
+
+TEST(PrioritySampling, BackendsAgreeExactly) {
+  // Same seed ⇒ same priorities ⇒ identical samples across backends.
+  PrioritySampler<QMaxR> a(50, QMaxR(51, 0.5), 9);
+  PrioritySampler<HeapR> b(50, HeapR(51), 9);
+  PrioritySampler<SkipR> c(50, SkipR(51), 9);
+  Xoshiro256 rng(4);
+  for (std::uint64_t k = 0; k < 20'000; ++k) {
+    const double w = rng.uniform() * 50 + 0.1;
+    a.add(k, w);
+    b.add(k, w);
+    c.add(k, w);
+  }
+  auto key_set = [](const auto& sampler) {
+    std::set<std::uint64_t> s;
+    for (const auto& item : sampler.sample()) s.insert(item.key);
+    return s;
+  };
+  const auto sa = key_set(a);
+  EXPECT_EQ(sa, key_set(b));
+  EXPECT_EQ(sa, key_set(c));
+}
+
+TEST(PrioritySampling, TotalSumTracksStreamWeight) {
+  PrioritySampler<HeapR> ps(256, HeapR(257), 11);
+  double truth = 0;
+  Xoshiro256 rng(5);
+  for (std::uint64_t k = 0; k < 50'000; ++k) {
+    const double w = rng.uniform() * 10;
+    truth += w;
+    ps.add(k, w);
+  }
+  EXPECT_NEAR(ps.total_sum(), truth, truth * 0.2);
+}
+
+TEST(PrioritySampling, ResetYieldsEmptySample) {
+  PrioritySampler<HeapR> ps(8, HeapR(9));
+  for (std::uint64_t k = 0; k < 100; ++k) ps.add(k, 1.0);
+  ps.reset();
+  EXPECT_TRUE(ps.sample().empty());
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Exhaustive small-case verification: EVERY stream of length ≤ 8 over a
+// 3-value alphabet, for several (q, γ) configurations and every backend.
+// Small-case exhaustion complements the randomized fuzz: it covers every
+// possible interleaving of ties, ascents and descents around the
+// iteration boundaries, where off-by-one bugs in the parity/eviction
+// logic would hide.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/heap_qmax.hpp"
+#include "baselines/skiplist_qmax.hpp"
+#include "baselines/std_heap_qmax.hpp"
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+constexpr int kAlphabet = 3;
+constexpr std::size_t kMaxLen = 8;
+
+std::vector<double> top_q(const std::vector<double>& vals, std::size_t q) {
+  std::vector<double> v = vals;
+  std::sort(v.begin(), v.end(), std::greater<>());
+  if (v.size() > q) v.resize(q);
+  return v;
+}
+
+template <typename R>
+std::vector<double> run(R&& r, const std::vector<double>& vals) {
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    r.add(static_cast<std::uint64_t>(i), vals[i]);
+  }
+  std::vector<double> out;
+  for (const auto& e : r.query()) out.push_back(e.val);
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+// Enumerate all kAlphabet^len streams for every len ≤ kMaxLen via an
+// odometer, verifying every backend at every configuration.
+template <typename MakeR>
+void exhaust(MakeR&& make, std::size_t q) {
+  std::vector<int> digits;
+  for (std::size_t len = 1; len <= kMaxLen; ++len) {
+    digits.assign(len, 0);
+    for (;;) {
+      std::vector<double> vals(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        vals[i] = static_cast<double>(digits[i]);
+      }
+      const auto got = run(make(), vals);
+      const auto expect = top_q(vals, q);
+      ASSERT_EQ(got, expect) << "len=" << len;
+
+      // Advance the odometer.
+      std::size_t pos = 0;
+      while (pos < len && ++digits[pos] == kAlphabet) {
+        digits[pos++] = 0;
+      }
+      if (pos == len) break;
+    }
+  }
+}
+
+TEST(QMaxExhaustive, DeamortizedTinyGamma) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::QMax<>(q, 0.01); }, q);
+  }
+}
+
+TEST(QMaxExhaustive, DeamortizedLargeGamma) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::QMax<>(q, 2.0); }, q);
+  }
+}
+
+TEST(QMaxExhaustive, Amortized) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::AmortizedQMax<>(q, 0.5); }, q);
+  }
+}
+
+TEST(QMaxExhaustive, Heap) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::baselines::HeapQMax<>(q); }, q);
+  }
+}
+
+TEST(QMaxExhaustive, StdHeap) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::baselines::StdHeapQMax<>(q); }, q);
+  }
+}
+
+TEST(QMaxExhaustive, SkipList) {
+  for (std::size_t q : {1ul, 2ul, 3ul}) {
+    exhaust([q] { return qmax::baselines::SkipListQMax<>(q); }, q);
+  }
+}
+
+}  // namespace

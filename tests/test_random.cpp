@@ -1,0 +1,78 @@
+// PRNG determinism and distribution smoke tests.
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using qmax::common::Xoshiro256;
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    EXPECT_NE(x, c());  // astronomically unlikely to collide repeatedly
+  }
+}
+
+TEST(Xoshiro256, UniformMeanAndVariance) {
+  Xoshiro256 rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro256, BoundedIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(9);
+  int counts[7] = {};
+  const int n = 140'000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.bounded(7);
+    ASSERT_LT(v, 7u);
+    counts[v]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 800);
+}
+
+TEST(Xoshiro256, Open0NeverZero) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_GT(rng.uniform_open0(), 0.0);
+  }
+}
+
+TEST(Normal, MomentsMatch) {
+  Xoshiro256 rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = qmax::common::normal(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += qmax::common::exponential(rng, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+}  // namespace

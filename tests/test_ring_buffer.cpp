@@ -1,0 +1,100 @@
+// SPSC ring buffer: single-thread semantics plus a producer/consumer
+// stress test for the lock-free handoff.
+#include "vswitch/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using qmax::vswitch::SpscRing;
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> r(100);
+  EXPECT_EQ(r.capacity(), 128u);
+  SpscRing<int> r2(1);
+  EXPECT_EQ(r2.capacity(), 64u);  // floor capacity
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> r(64);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(r.try_push(i));
+  int v;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(r.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(r.try_pop(v));
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> r(64);
+  for (std::size_t i = 0; i < r.capacity(); ++i) {
+    ASSERT_TRUE(r.try_push(int(i)));
+  }
+  EXPECT_FALSE(r.try_push(-1));
+  int v;
+  ASSERT_TRUE(r.try_pop(v));
+  EXPECT_TRUE(r.try_push(-1));  // one slot freed
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  SpscRing<std::uint64_t> r(64);
+  std::uint64_t next_pop = 0;
+  std::uint64_t next_push = 0;
+  for (int round = 0; round < 1'000; ++round) {
+    for (int i = 0; i < 40; ++i) ASSERT_TRUE(r.try_push(next_push++));
+    std::uint64_t v;
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(r.try_pop(v));
+      ASSERT_EQ(v, next_pop++);
+    }
+  }
+}
+
+TEST(SpscRing, PopBatch) {
+  SpscRing<int> r(64);
+  for (int i = 0; i < 30; ++i) r.try_push(i);
+  int buf[16];
+  std::size_t n = r.pop_batch(buf, 16);
+  ASSERT_EQ(n, 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[i], i);
+  n = r.pop_batch(buf, 16);
+  ASSERT_EQ(n, 14u);
+  for (int i = 0; i < 14; ++i) EXPECT_EQ(buf[i], 16 + i);
+  EXPECT_EQ(r.pop_batch(buf, 16), 0u);
+}
+
+TEST(SpscRing, CrossThreadTransferIsLossless) {
+  SpscRing<std::uint64_t> r(1 << 10);
+  const std::uint64_t total = 2'000'000;
+  std::uint64_t sum_consumed = 0;
+  std::uint64_t count_consumed = 0;
+
+  std::thread consumer([&] {
+    std::uint64_t v;
+    std::uint64_t expect = 0;
+    while (count_consumed < total) {
+      if (r.try_pop(v)) {
+        ASSERT_EQ(v, expect) << "out-of-order or corrupted item";
+        ++expect;
+        sum_consumed += v;
+        ++count_consumed;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < total; ++i) {
+    while (!r.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(count_consumed, total);
+  EXPECT_EQ(sum_consumed, total * (total - 1) / 2);
+}
+
+}  // namespace

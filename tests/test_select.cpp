@@ -1,0 +1,246 @@
+// Tests for the incremental (pausable) selection state machine — the
+// SelectStep/PivotStep engine of Algorithm 1.
+#include "common/select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hpp"
+#include "qmax/entry.hpp"
+
+namespace {
+
+using qmax::Entry;
+using qmax::ValueOrder;
+using qmax::common::IncrementalSelect;
+using qmax::common::Xoshiro256;
+using Cmp = ValueOrder<std::uint64_t, double>;
+
+std::vector<Entry> make_entries(const std::vector<double>& vals) {
+  std::vector<Entry> v;
+  v.reserve(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    v.push_back(Entry{i, vals[i]});
+  }
+  return v;
+}
+
+// Checks the std::nth_element post-condition at k under cmp.
+void expect_selected(const std::vector<Entry>& data, std::size_t k, Cmp cmp,
+                     double expected_kth) {
+  ASSERT_LT(k, data.size());
+  EXPECT_DOUBLE_EQ(data[k].val, expected_kth);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_FALSE(cmp(data[k], data[i]))
+        << "prefix element at " << i << " compares after the nth";
+  }
+  for (std::size_t i = k + 1; i < data.size(); ++i) {
+    EXPECT_FALSE(cmp(data[i], data[k]))
+        << "suffix element at " << i << " compares before the nth";
+  }
+}
+
+double oracle_kth(std::vector<double> vals, std::size_t k, bool descending) {
+  if (descending) {
+    std::sort(vals.begin(), vals.end(), std::greater<>());
+  } else {
+    std::sort(vals.begin(), vals.end());
+  }
+  return vals[k];
+}
+
+void run_to_completion(IncrementalSelect<Entry, Cmp>& sel,
+                       std::uint64_t budget) {
+  int guard = 1 << 22;
+  while (!sel.step(budget)) {
+    ASSERT_GT(--guard, 0) << "selection did not terminate";
+  }
+}
+
+TEST(IncrementalSelect, SmallArrayFullySorted) {
+  auto data = make_entries({5, 1, 4, 2, 3});
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 2, Cmp{});
+  run_to_completion(sel, 4);
+  expect_selected(data, 2, Cmp{}, 3.0);
+}
+
+TEST(IncrementalSelect, SingleElement) {
+  auto data = make_entries({42});
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), 1, 0, Cmp{});
+  run_to_completion(sel, 1);
+  EXPECT_DOUBLE_EQ(sel.nth().val, 42.0);
+}
+
+TEST(IncrementalSelect, AllEqualValues) {
+  std::vector<double> vals(1000, 7.0);
+  auto data = make_entries(vals);
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 500, Cmp{});
+  run_to_completion(sel, 8);
+  expect_selected(data, 500, Cmp{}, 7.0);
+}
+
+TEST(IncrementalSelect, AscendingInput) {
+  std::vector<double> vals(2000);
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = double(i);
+  auto data = make_entries(vals);
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 123, Cmp{});
+  run_to_completion(sel, 16);
+  expect_selected(data, 123, Cmp{}, 123.0);
+}
+
+TEST(IncrementalSelect, DescendingInputDescendingOrder) {
+  std::vector<double> vals(2000);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = double(vals.size() - i);
+  }
+  auto data = make_entries(vals);
+  const Cmp desc{.descending = true};
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 99, desc);
+  run_to_completion(sel, 16);
+  expect_selected(data, 99, desc, oracle_kth(vals, 99, /*descending=*/true));
+}
+
+TEST(IncrementalSelect, ProgressesWithBudgetOne) {
+  auto data = make_entries({9, 3, 7, 1, 8, 2, 6, 4, 5, 0,
+                            19, 13, 17, 11, 18, 12, 16, 14, 15, 10,
+                            29, 23, 27, 21, 28, 22, 26, 24, 25, 20});
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 15, Cmp{});
+  run_to_completion(sel, 1);
+  EXPECT_DOUBLE_EQ(sel.nth().val, 15.0);
+}
+
+TEST(IncrementalSelect, FallbackKeepsTotalOpsLinear) {
+  // Even if quickselect degenerates, the std::nth_element fallback bounds
+  // total work at (kFallbackFactor + one last budget) * n.
+  Xoshiro256 rng(7);
+  std::vector<double> vals(50'000);
+  for (auto& v : vals) v = rng.uniform();
+  auto data = make_entries(vals);
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 25'000, Cmp{});
+  run_to_completion(sel, 64);
+  EXPECT_LE(sel.total_ops(),
+            (IncrementalSelect<Entry, Cmp>::kFallbackFactor + 1) *
+                data.size() + 64);
+  expect_selected(data, 25'000, Cmp{},
+                  oracle_kth(vals, 25'000, /*descending=*/false));
+}
+
+struct SelectSweepParam {
+  std::size_t size;
+  std::size_t k;
+  std::uint64_t budget;
+  bool descending;
+};
+
+class SelectSweep : public ::testing::TestWithParam<SelectSweepParam> {};
+
+TEST_P(SelectSweep, MatchesSortOracle) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.size * 31 + p.k);
+  std::vector<double> vals(p.size);
+  for (auto& v : vals) {
+    // Mix continuous values and heavy ties (packet sizes cluster).
+    v = rng.uniform() < 0.3 ? double(rng.bounded(8)) : rng.uniform() * 100.0;
+  }
+  auto data = make_entries(vals);
+  const Cmp cmp{.descending = p.descending};
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), p.k, cmp);
+  run_to_completion(sel, p.budget);
+  expect_selected(data, p.k, cmp, oracle_kth(vals, p.k, p.descending));
+
+  // Every original element is still present exactly once (permutation).
+  std::vector<double> now(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) now[i] = data[i].val;
+  std::sort(now.begin(), now.end());
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(now, vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SelectSweep,
+    ::testing::Values(
+        SelectSweepParam{2, 0, 1, false}, SelectSweepParam{2, 1, 1, true},
+        SelectSweepParam{24, 11, 3, false}, SelectSweepParam{25, 0, 3, false},
+        SelectSweepParam{25, 24, 3, true}, SelectSweepParam{100, 50, 7, false},
+        SelectSweepParam{1000, 10, 16, false},
+        SelectSweepParam{1000, 990, 16, true},
+        SelectSweepParam{4096, 2048, 33, false},
+        SelectSweepParam{4097, 4000, 129, true},
+        SelectSweepParam{65536, 1234, 257, false}));
+
+TEST(IncrementalSelect, BudgetOneWithHeavyTies) {
+  // The smallest possible budget forces a pause after *every* operation,
+  // stressing the mid-scan resume bookkeeping, on tie-heavy input where
+  // both Hoare scans stop constantly.
+  Xoshiro256 rng(31);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> vals(400);
+    for (auto& v : vals) v = double(rng.bounded(4));  // only 4 values
+    auto data = make_entries(vals);
+    const std::size_t k = rng.bounded(vals.size());
+    IncrementalSelect<Entry, Cmp> sel;
+    sel.start(data.data(), data.size(), k, Cmp{});
+    run_to_completion(sel, 1);
+    expect_selected(data, k, Cmp{}, oracle_kth(vals, k, false));
+  }
+}
+
+TEST(IncrementalSelect, RandomBudgetSchedule) {
+  // Vary the budget per step to hit every pause point (mid-left-scan,
+  // mid-right-scan, post-swap, pivot selection).
+  Xoshiro256 rng(32);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> vals(2'048);
+    for (auto& v : vals) {
+      v = rng.uniform() < 0.4 ? double(rng.bounded(10)) : rng.uniform();
+    }
+    auto data = make_entries(vals);
+    const std::size_t k = rng.bounded(vals.size());
+    IncrementalSelect<Entry, Cmp> sel;
+    sel.start(data.data(), data.size(), k, Cmp{});
+    int guard = 1 << 22;
+    while (!sel.step(1 + rng.bounded(37))) {
+      ASSERT_GT(--guard, 0);
+    }
+    expect_selected(data, k, Cmp{}, oracle_kth(vals, k, false));
+  }
+}
+
+TEST(IncrementalSelect, ReusableAcrossStarts) {
+  IncrementalSelect<Entry, Cmp> sel;
+  Xoshiro256 rng(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> vals(512);
+    for (auto& v : vals) v = rng.uniform();
+    auto data = make_entries(vals);
+    const std::size_t k = rng.bounded(vals.size());
+    sel.start(data.data(), data.size(), k, Cmp{});
+    run_to_completion(sel, 13);
+    EXPECT_DOUBLE_EQ(sel.nth().val, oracle_kth(vals, k, false));
+  }
+}
+
+TEST(IncrementalSelect, FinishCompletesInOneCall) {
+  Xoshiro256 rng(11);
+  std::vector<double> vals(10'000);
+  for (auto& v : vals) v = rng.uniform();
+  auto data = make_entries(vals);
+  IncrementalSelect<Entry, Cmp> sel;
+  sel.start(data.data(), data.size(), 5000, Cmp{});
+  sel.step(10);  // partial progress
+  sel.finish();
+  EXPECT_TRUE(sel.done());
+  EXPECT_DOUBLE_EQ(sel.nth().val, oracle_kth(vals, 5000, false));
+}
+
+}  // namespace

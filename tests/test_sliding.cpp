@@ -1,0 +1,201 @@
+// Slack-window q-MAX tests (Algorithms 3, 4 and the Theorem-7 lazy
+// variant): the returned set must equal the exact top-q of the covered
+// window, and the coverage must satisfy the slack guarantee.
+#include "qmax/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/heap_qmax.hpp"
+#include "common/random.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::Entry;
+using qmax::QMax;
+using qmax::SlackQMax;
+using qmax::common::Xoshiro256;
+
+using HeapR = qmax::baselines::HeapQMax<>;
+
+std::vector<double> sorted_desc(std::vector<Entry> entries) {
+  std::vector<double> v;
+  v.reserve(entries.size());
+  for (const auto& e : entries) v.push_back(e.val);
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+// Exact top-q over the last `window` items of `all`.
+std::vector<double> window_oracle(const std::vector<double>& all,
+                                  std::uint64_t window, std::size_t q) {
+  const std::size_t n = all.size();
+  const std::size_t from = window > n ? 0 : n - window;
+  std::vector<double> v(all.begin() + static_cast<std::ptrdiff_t>(from),
+                        all.end());
+  std::sort(v.begin(), v.end(), std::greater<>());
+  if (v.size() > q) v.resize(q);
+  return v;
+}
+
+struct SlidingCase {
+  std::size_t q;
+  std::uint64_t window;
+  double tau;
+  std::size_t levels;
+  bool lazy;
+};
+
+class SlidingSweep : public ::testing::TestWithParam<SlidingCase> {};
+
+TEST_P(SlidingSweep, CoverageAndExactness) {
+  const auto p = GetParam();
+  SlackQMax<QMax<>> sw(
+      p.window, p.tau, [&] { return QMax<>(p.q, 0.5); },
+      {.levels = p.levels, .lazy = p.lazy});
+
+  Xoshiro256 rng(p.q * 7 + p.window);
+  std::vector<double> all;
+  const std::uint64_t n = p.window * 4 + 37;
+  const std::uint64_t fine = sw.fine_block_size();
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double v = rng.uniform() * 1e6;
+    all.push_back(v);
+    sw.add(i, v);
+
+    // Query at a mix of positions: block boundaries, mid-block, prime
+    // offsets — every 97 items plus the very end.
+    if (i % 97 != 0 && i + 1 != n) continue;
+    const auto result = sorted_desc(sw.query());
+    const std::uint64_t cov = sw.last_coverage();
+
+    // Slack guarantee (Theorem 5/6): coverage within [W(1−τ), W], except
+    // while the stream is still shorter than the minimum.
+    EXPECT_LE(cov, p.window);
+    const std::uint64_t min_cov =
+        p.window - std::min<std::uint64_t>(fine, p.window);
+    if (i + 1 >= p.window) {
+      EXPECT_GE(cov, min_cov) << "at item " << i;
+    } else {
+      // Young stream: everything must be covered (up to the lazy front
+      // horizon which holds back < one fine block).
+      EXPECT_GE(cov + (p.lazy ? 0 : fine), std::min<std::uint64_t>(i + 1, min_cov));
+    }
+
+    // Exactness over the covered window.
+    EXPECT_EQ(result, window_oracle(all, cov, p.q)) << "at item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlidingSweep,
+    ::testing::Values(
+        // Algorithm 3 (single level, eager)
+        SlidingCase{5, 1000, 0.1, 1, false},
+        SlidingCase{8, 512, 0.25, 1, false},
+        SlidingCase{3, 100, 0.01, 1, false},
+        SlidingCase{4, 777, 0.13, 1, false},
+        // Algorithm 4 (hierarchical)
+        SlidingCase{5, 1024, 0.01, 2, false},
+        SlidingCase{5, 1000, 0.01, 3, false},
+        SlidingCase{7, 2048, 0.004, 3, false},
+        // Theorem 7 (lazy front)
+        SlidingCase{5, 1024, 0.01, 2, true},
+        SlidingCase{6, 1000, 0.02, 3, true},
+        SlidingCase{4, 600, 0.1, 1, true}));
+
+TEST(SlackQMax, RejectsBadParameters) {
+  auto factory = [] { return QMax<>(4, 0.5); };
+  EXPECT_THROW(SlackQMax<QMax<>>(0, 0.1, factory), std::invalid_argument);
+  EXPECT_THROW(SlackQMax<QMax<>>(100, 0.0, factory), std::invalid_argument);
+  EXPECT_THROW(SlackQMax<QMax<>>(100, 1.5, factory), std::invalid_argument);
+  EXPECT_THROW(SlackQMax<QMax<>>(100, 0.1, factory, {.levels = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(SlackQMax<QMax<>>(100, 0.1, nullptr), std::invalid_argument);
+}
+
+TEST(SlackQMax, TauOneKeepsOneBlock) {
+  // τ = 1 degenerates to "some window in [0, W]": a single block that
+  // resets every W items (how Figure 10 runs the sliding algorithm).
+  SlackQMax<QMax<>> sw(100, 1.0, [] { return QMax<>(4, 0.5); });
+  std::vector<double> all;
+  Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    all.push_back(v);
+    sw.add(i, v);
+  }
+  const auto res = sorted_desc(sw.query());
+  EXPECT_EQ(res, window_oracle(all, sw.last_coverage(), 4));
+  EXPECT_LE(sw.last_coverage(), 100u);
+}
+
+TEST(SlackQMax, SpaceIsBlockBudget) {
+  // Theorem 5: one reservoir per block, ⌈1/τ⌉-ish blocks.
+  SlackQMax<QMax<>> basic(1000, 0.1, [] { return QMax<>(4, 0.5); });
+  EXPECT_EQ(basic.block_count(), 10u);
+  // Theorem 6 (c = 2, τ = 0.01): b = 10 ⇒ 10 + 100 blocks.
+  SlackQMax<QMax<>> hier(10'000, 0.01, [] { return QMax<>(4, 0.5); },
+                         {.levels = 2});
+  EXPECT_EQ(hier.block_count(), 110u);
+  // Lazy adds the front reservoir.
+  SlackQMax<QMax<>> lazy(10'000, 0.01, [] { return QMax<>(4, 0.5); },
+                         {.levels = 2, .lazy = true});
+  EXPECT_EQ(lazy.block_count(), 111u);
+}
+
+TEST(SlackQMax, WorksWithHeapBackend) {
+  // The window machinery is backend-agnostic (Reservoir concept).
+  SlackQMax<HeapR> sw(500, 0.1, [] { return HeapR(6); });
+  std::vector<double> all;
+  Xoshiro256 rng(5);
+  for (std::uint64_t i = 0; i < 2'000; ++i) {
+    const double v = rng.uniform();
+    all.push_back(v);
+    sw.add(i, v);
+  }
+  const auto res = sorted_desc(sw.query());  // query first: sets coverage
+  EXPECT_EQ(res, window_oracle(all, sw.last_coverage(), 6));
+}
+
+TEST(SlackQMax, ResetClearsWindows) {
+  SlackQMax<QMax<>> sw(200, 0.25, [] { return QMax<>(3, 0.5); });
+  Xoshiro256 rng(6);
+  for (std::uint64_t i = 0; i < 500; ++i) sw.add(i, rng.uniform() + 10.0);
+  sw.reset();
+  EXPECT_EQ(sw.processed(), 0u);
+  EXPECT_TRUE(sw.query().empty());
+  std::vector<double> all;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const double v = rng.uniform();
+    all.push_back(v);
+    sw.add(i, v);
+  }
+  const auto res = sorted_desc(sw.query());  // query first: sets coverage
+  EXPECT_EQ(res, window_oracle(all, sw.last_coverage(), 3));
+}
+
+TEST(SlackQMax, OldHeavyItemExpires) {
+  // A huge value must vanish once the window slides W items past it —
+  // the defining difference from interval q-MAX (Figure 10's setting).
+  SlackQMax<QMax<>> sw(100, 0.1, [] { return QMax<>(2, 0.5); });
+  sw.add(0, 1e9);
+  Xoshiro256 rng(7);
+  for (std::uint64_t i = 1; i <= 200; ++i) sw.add(i, rng.uniform());
+  for (const auto& e : sw.query()) EXPECT_LT(e.val, 1e9);
+}
+
+TEST(SlackQMax, QueryIsRepeatableAndNonDestructive) {
+  SlackQMax<QMax<>> sw(300, 0.2, [] { return QMax<>(5, 0.5); });
+  Xoshiro256 rng(8);
+  for (std::uint64_t i = 0; i < 1'000; ++i) sw.add(i, rng.uniform());
+  const auto first = sorted_desc(sw.query());
+  const auto second = sorted_desc(sw.query());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Small-domain sliding-window top-q (the Section 4.3.2 List-of-Possible-
+// Maxima variant): approximate-timestamp retention and slack behaviour.
+#include "qmax/small_domain_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hpp"
+
+namespace {
+
+using qmax::SmallDomainWindowMax;
+using qmax::common::Xoshiro256;
+
+TEST(SmallDomainWindow, RejectsBadParameters) {
+  EXPECT_THROW(SmallDomainWindowMax<>(0, 100, 0.1), std::invalid_argument);
+  EXPECT_THROW(SmallDomainWindowMax<>(10, 0, 0.1), std::invalid_argument);
+  EXPECT_THROW(SmallDomainWindowMax<>(10, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(SmallDomainWindowMax<>(10, 100, 1.5), std::invalid_argument);
+  SmallDomainWindowMax<> w(10, 100, 0.1);
+  EXPECT_THROW(w.add(10, 1.0), std::out_of_range);
+}
+
+TEST(SmallDomainWindow, TopQOfRecentKeys) {
+  SmallDomainWindowMax<> w(/*domain=*/64, /*window=*/100, /*tau=*/0.1);
+  for (std::uint64_t k = 0; k < 64; ++k) w.add(k, double(k));
+  const auto top = w.query(4);
+  ASSERT_EQ(top.size(), 4u);
+  std::set<std::uint64_t> keys;
+  for (const auto& e : top) keys.insert(e.id);
+  EXPECT_EQ(keys, (std::set<std::uint64_t>{60, 61, 62, 63}));
+}
+
+TEST(SmallDomainWindow, ExpiredKeysDropOut) {
+  SmallDomainWindowMax<> w(16, /*window=*/50, /*tau=*/0.2);
+  w.add(7, 1e9);  // heavy key, then > W + Wτ other items
+  for (int i = 0; i < 61; ++i) w.add(std::uint64_t(i % 4), 1.0);
+  for (const auto& e : w.query(8)) {
+    EXPECT_NE(e.id, 7u) << "expired key still reported";
+  }
+}
+
+TEST(SmallDomainWindow, SlackBoundaryIsFuzzyByOneBucket) {
+  // A key exactly W items back may or may not be in the window — but one
+  // within W(1−τ) must be, and one older than W + Wτ must not.
+  const std::uint64_t W = 100;
+  SmallDomainWindowMax<> w(8, W, 0.1);
+  w.add(1, 5.0);  // at t=0
+  for (std::uint64_t i = 0; i < W - 15; ++i) w.add(0, 1.0);  // inside W(1−τ)
+  {
+    std::set<std::uint64_t> keys;
+    for (const auto& e : w.query(8)) keys.insert(e.id);
+    EXPECT_TRUE(keys.count(1)) << "key within W(1−τ) missing";
+  }
+  for (std::uint64_t i = 0; i < 30; ++i) w.add(0, 1.0);  // now > W + Wτ old
+  {
+    std::set<std::uint64_t> keys;
+    for (const auto& e : w.query(8)) keys.insert(e.id);
+    EXPECT_FALSE(keys.count(1)) << "key beyond W + Wτ still present";
+  }
+}
+
+TEST(SmallDomainWindow, RefreshKeepsKeyAlive) {
+  SmallDomainWindowMax<> w(4, 50, 0.2);
+  for (int round = 0; round < 100; ++round) {
+    w.add(2, 42.0);
+    for (int i = 0; i < 10; ++i) w.add(0, 1.0);
+  }
+  std::set<std::uint64_t> keys;
+  for (const auto& e : w.query(4)) keys.insert(e.id);
+  EXPECT_TRUE(keys.count(2));
+}
+
+TEST(SmallDomainWindow, SpaceIsDomainSized) {
+  SmallDomainWindowMax<> w(1'000, 1'000'000, 0.01);
+  EXPECT_EQ(w.stamp_count(), 1'000u);  // O(D), independent of W and q
+}
+
+TEST(SmallDomainWindow, RandomizedAgainstBruteForce) {
+  const std::uint64_t D = 32, W = 200;
+  const double tau = 0.25;
+  SmallDomainWindowMax<> w(D, W, tau);
+  Xoshiro256 rng(9);
+  std::vector<std::pair<std::uint64_t, double>> history;  // (key, val)
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t k = rng.bounded(D);
+    const double v = rng.uniform();
+    w.add(k, v);
+    history.emplace_back(k, v);
+    if (i % 331 != 0) continue;
+    // Brute force: keys seen within the last W(1−τ) items MUST appear in
+    // a full-domain query; keys absent for more than W(1+τ) must not.
+    std::set<std::uint64_t> must, may;
+    const std::size_t n = history.size();
+    for (std::size_t back = 0; back < n; ++back) {
+      const auto& [hk, hv] = history[n - 1 - back];
+      if (back < std::size_t(W * (1 - tau))) must.insert(hk);
+      if (back < std::size_t(W * (1 + tau)) + 1) may.insert(hk);
+    }
+    std::set<std::uint64_t> got;
+    for (const auto& e : w.query(D)) got.insert(e.id);
+    for (auto k2 : must) {
+      EXPECT_TRUE(got.count(k2)) << "mandatory key missing at item " << i;
+    }
+    for (auto k2 : got) {
+      EXPECT_TRUE(may.count(k2)) << "key outside W(1+τ) reported at " << i;
+    }
+  }
+}
+
+}  // namespace

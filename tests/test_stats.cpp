@@ -1,0 +1,61 @@
+// Statistics helper tests (the paper's mean + 99% CI reporting).
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using qmax::common::RunningStats;
+using qmax::common::summarize;
+using qmax::common::t_critical_99;
+
+TEST(Stats, EmptySample) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSampleHasNoInterval) {
+  const std::vector<double> xs{5.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.ci99_half, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.1380899, 1e-6);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // dof = 7 → t = 3.499; half-width = t * sd / sqrt(8)
+  EXPECT_NEAR(s.ci99_half, 3.499 * 2.1380899 / std::sqrt(8.0), 1e-4);
+}
+
+TEST(Stats, TCriticalTable) {
+  EXPECT_NEAR(t_critical_99(1), 63.657, 1e-3);
+  EXPECT_NEAR(t_critical_99(9), 3.250, 1e-3);   // the paper's 10 runs
+  EXPECT_NEAR(t_critical_99(30), 2.750, 1e-3);
+  EXPECT_NEAR(t_critical_99(1000), 2.576, 1e-3);
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (i * 37 % 101) * 0.5;
+    xs.push_back(x);
+    rs.add(x);
+  }
+  const auto s = summarize(xs);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+}  // namespace

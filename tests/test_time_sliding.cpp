@@ -1,0 +1,192 @@
+// Time-based slack windows: coverage guarantees on bursty/quiet
+// timelines, plus the time-windowed network-wide heavy hitters of
+// Theorem 8.
+#include "qmax/time_sliding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/nwhh.hpp"
+#include "common/random.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::Entry;
+using qmax::QMax;
+using qmax::TimeSlackQMax;
+using qmax::common::Xoshiro256;
+
+std::vector<double> sorted_desc(std::vector<Entry> es) {
+  std::vector<double> v;
+  for (const auto& e : es) v.push_back(e.val);
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+// Oracle: top q values among items with timestamp in (now - span, now].
+std::vector<double> window_oracle(
+    const std::vector<std::pair<std::uint64_t, double>>& items,
+    std::uint64_t now, std::uint64_t span, std::size_t q) {
+  std::vector<double> v;
+  for (const auto& [ts, val] : items) {
+    if (ts + span >= now && ts <= now) v.push_back(val);
+  }
+  std::sort(v.begin(), v.end(), std::greater<>());
+  if (v.size() > q) v.resize(q);
+  return v;
+}
+
+TEST(TimeSlackQMax, RejectsBadParameters) {
+  auto f = [] { return QMax<>(4, 0.5); };
+  EXPECT_THROW(TimeSlackQMax<QMax<>>(0, 0.1, f), std::invalid_argument);
+  EXPECT_THROW(TimeSlackQMax<QMax<>>(100, 0.0, f), std::invalid_argument);
+  EXPECT_THROW(TimeSlackQMax<QMax<>>(100, 2.0, f), std::invalid_argument);
+  EXPECT_THROW(TimeSlackQMax<QMax<>>(100, 0.1, nullptr),
+               std::invalid_argument);
+}
+
+TEST(TimeSlackQMax, RejectsTimeTravel) {
+  TimeSlackQMax<QMax<>> sw(100, 0.1, [] { return QMax<>(4, 0.5); });
+  sw.add(1, 1.0, 50);
+  EXPECT_THROW(sw.add(2, 2.0, 49), std::invalid_argument);
+}
+
+TEST(TimeSlackQMax, SteadyStreamMatchesOracle) {
+  const std::size_t q = 6;
+  const std::uint64_t W = 1'000;
+  TimeSlackQMax<QMax<>> sw(W, 0.1, [q] { return QMax<>(q, 0.5); });
+  Xoshiro256 rng(1);
+  std::vector<std::pair<std::uint64_t, double>> items;
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    ts += 1 + rng.bounded(3);  // irregular arrivals
+    const double v = rng.uniform() * 1e6;
+    items.emplace_back(ts, v);
+    sw.add(static_cast<std::uint64_t>(i), v, ts);
+    if (i % 257 == 0 || i == 19'999) {
+      const auto got = sorted_desc(sw.query());
+      const std::uint64_t cov = sw.last_coverage();
+      EXPECT_LE(cov, W);
+      if (ts >= W) {
+        EXPECT_GE(cov, W - sw.block_span());
+      }
+      EXPECT_EQ(got, window_oracle(items, ts, cov, q)) << "at ts " << ts;
+    }
+  }
+}
+
+TEST(TimeSlackQMax, QuietPeriodsExpireContent) {
+  // Burst at t≈0, then a single item far in the future: the burst is out
+  // of every admissible window.
+  TimeSlackQMax<QMax<>> sw(1'000, 0.25, [] { return QMax<>(4, 0.5); });
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) sw.add(i, 100.0 + i, i);
+  sw.add(1'000, 1.0, 50'000);
+  const auto got = sw.query();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].val, 1.0);
+  EXPECT_LE(sw.last_coverage(), 1'000u);
+}
+
+TEST(TimeSlackQMax, BurstHeavierThanBlockIsKept) {
+  // 10k items inside one block: block reservoir keeps its top q; the
+  // window query returns exactly those.
+  const std::size_t q = 5;
+  TimeSlackQMax<QMax<>> sw(1'000, 0.5, [q] { return QMax<>(q, 0.5); });
+  Xoshiro256 rng(3);
+  std::vector<double> all;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform();
+    all.push_back(v);
+    sw.add(static_cast<std::uint64_t>(i), v, 100);  // all at t=100
+  }
+  std::sort(all.begin(), all.end(), std::greater<>());
+  all.resize(q);
+  EXPECT_EQ(sorted_desc(sw.query()), all);
+}
+
+TEST(TimeSlackQMax, CoverageCountsQuietBlocks) {
+  // Items only in the newest and oldest safe blocks; the quiet middle
+  // still counts toward coverage.
+  const std::uint64_t W = 1'000;
+  TimeSlackQMax<QMax<>> sw(W, 0.1, [] { return QMax<>(4, 0.5); });
+  sw.add(1, 5.0, 2'000);
+  sw.add(2, 7.0, 2'900);
+  const auto got = sw.query();
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_GE(sw.last_coverage(), W - sw.block_span());
+}
+
+TEST(TimeWindowNmp, Theorem8EndToEnd) {
+  using qmax::apps::NwhhController;
+  using qmax::apps::PacketSample;
+  using qmax::apps::TimeWindowNmp;
+  using R = QMax<PacketSample, double>;
+  using TW = TimeSlackQMax<R>;
+
+  const std::size_t k = 512;
+  const std::uint64_t W = 1'000'000;  // 1 ms window in ns
+  TimeWindowNmp<TW> nmp(
+      k, TW(W, 0.1, [k] { return R(k, 0.5); }));
+
+  // Old epoch: flow 7 floods. Recent window: uniform noise only.
+  Xoshiro256 rng(4);
+  std::uint64_t pid = 0, ts = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    ts += 20;
+    nmp.observe(pid++, 7, ts);
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    ts += 20;  // 100k * 20ns = 2 ms >> W
+    nmp.observe(pid++, 1'000 + rng.bounded(500), ts);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.05)) {
+    EXPECT_NE(flow, 7u) << "flow outside the time window reported";
+  }
+  EXPECT_LE(nmp.last_coverage(), W);
+  EXPECT_GE(nmp.last_coverage(), W * 9 / 10 - 1);
+}
+
+TEST(TimeWindowNmp, Theorem8ParamsCompose) {
+  const auto p = qmax::apps::nwhh_window_params(0.02, 0.05);
+  EXPECT_DOUBLE_EQ(p.tau, 0.01);
+  EXPECT_EQ(p.k, qmax::apps::nwhh_sample_size(0.01, 0.05));
+  // Window guarantee sanity: with ε = 2τ, the slack window misstates an
+  // exact-window frequency by at most W·τ = W·ε/2 items, and the sample
+  // adds another W·ε/2 — the composed error budget.
+  EXPECT_GT(p.k, 18'000u);
+}
+
+TEST(TimeWindowNmp, RecentFlowReported) {
+  using qmax::apps::NwhhController;
+  using qmax::apps::PacketSample;
+  using qmax::apps::TimeWindowNmp;
+  using R = QMax<PacketSample, double>;
+  using TW = TimeSlackQMax<R>;
+
+  const std::size_t k = 512;
+  const std::uint64_t W = 100'000;
+  TimeWindowNmp<TW> nmp(k, TW(W, 0.25, [k] { return R(k, 0.5); }));
+  Xoshiro256 rng(5);
+  std::uint64_t pid = 0, ts = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    ts += 2;
+    const std::uint64_t flow =
+        rng.uniform() < 0.3 ? 42 : 1'000 + rng.bounded(300);
+    nmp.observe(pid++, flow, ts);
+  }
+  NwhhController ctl(k);
+  ctl.collect(nmp);
+  bool found = false;
+  for (const auto& [flow, est] : ctl.heavy_hitters(0.15)) {
+    found |= (flow == 42);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// UnivMon tests: Count Sketch point estimates and G-sum based metrics.
+#include "apps/univmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "baselines/heap_qmax.hpp"
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::QMax;
+using qmax::apps::CountSketch;
+using qmax::apps::UnivMon;
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+using HeapR = qmax::baselines::HeapQMax<std::uint64_t, double>;
+
+TEST(CountSketch, ExactOnSparseKeys) {
+  CountSketch cs(5, 4096, 1);
+  cs.update(10, 100);
+  cs.update(20, 50);
+  cs.update(30, -20);
+  EXPECT_EQ(cs.estimate(10), 100);
+  EXPECT_EQ(cs.estimate(20), 50);
+  EXPECT_EQ(cs.estimate(30), -20);
+  EXPECT_EQ(cs.estimate(99), 0);
+}
+
+TEST(CountSketch, HeavyKeysSurviveCollisions) {
+  CountSketch cs(5, 1024, 2);
+  Xoshiro256 rng(2);
+  std::map<std::uint64_t, std::int64_t> truth;
+  // One heavy key among 50k light ones.
+  for (int i = 0; i < 30'000; ++i) cs.update(7), ++truth[7];
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = 100 + rng.bounded(50'000);
+    cs.update(k);
+    ++truth[k];
+  }
+  EXPECT_NEAR(double(cs.estimate(7)), double(truth[7]), 30'000 * 0.05);
+}
+
+TEST(CountSketch, ResetZeroes) {
+  CountSketch cs(5, 256, 3);
+  cs.update(1, 42);
+  cs.reset();
+  EXPECT_EQ(cs.estimate(1), 0);
+}
+
+UnivMon<QMax<>>::Config small_config(std::uint64_t seed) {
+  return {.levels = 10,
+          .sketch_rows = 5,
+          .sketch_cols = 2048,
+          .heavy_hitters = 64,
+          .seed = seed};
+}
+
+TEST(UnivMon, HeavyHittersFound) {
+  auto cfg = small_config(1);
+  UnivMon<QMax<>> um(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50'000; ++i) {
+    um.update(rng.uniform() < 0.3 ? 42 : 1'000 + rng.bounded(5'000));
+  }
+  const auto hh = um.heavy_hitters();
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh.front().first, 42u);
+  EXPECT_NEAR(hh.front().second, 15'000.0, 2'000.0);
+}
+
+TEST(UnivMon, DistinctEstimateOrderOfMagnitude) {
+  auto cfg = small_config(2);
+  UnivMon<QMax<>> um(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  const std::uint64_t n = 5'000;
+  for (std::uint64_t k = 0; k < n; ++k) um.update(k * 0x9E3779B9ULL);
+  const double est = um.distinct();
+  EXPECT_GT(est, double(n) * 0.4);
+  EXPECT_LT(est, double(n) * 2.5);
+}
+
+TEST(UnivMon, EntropyOfUniformVsSkewed) {
+  // Uniform traffic has higher entropy than single-flow traffic; the
+  // estimator must preserve that ordering with a clear margin.
+  auto cfg = small_config(3);
+  UnivMon<QMax<>> uniform(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  UnivMon<QMax<>> skewed(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 40'000; ++i) {
+    uniform.update(rng.bounded(4'096));
+    skewed.update(rng.uniform() < 0.9 ? 1 : rng.bounded(16));
+  }
+  EXPECT_GT(uniform.entropy(), skewed.entropy() + 1.0);
+  // Uniform over 4096 keys ⇒ H ≈ 12 bits.
+  EXPECT_NEAR(uniform.entropy(), 12.0, 2.5);
+}
+
+TEST(UnivMon, F2MatchesTruthOnSkewedStream) {
+  auto cfg = small_config(4);
+  UnivMon<QMax<>> um(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  Xoshiro256 rng(6);
+  ZipfGenerator zipf(1'000, 1.5);  // heavy skew: F2 dominated by top keys
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 60'000; ++i) {
+    const auto k = zipf(rng);
+    ++truth[k];
+    um.update(k);
+  }
+  double f2 = 0;
+  for (const auto& [k, f] : truth) f2 += f * f;
+  EXPECT_NEAR(um.f2(), f2, f2 * 0.35);
+}
+
+TEST(UnivMon, HeapBackendWorksToo) {
+  UnivMon<HeapR>::Config cfg{.levels = 8,
+                             .sketch_rows = 5,
+                             .sketch_cols = 1024,
+                             .heavy_hitters = 32,
+                             .seed = 5};
+  UnivMon<HeapR> um(cfg, [&] { return HeapR(cfg.heavy_hitters); });
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    um.update(rng.uniform() < 0.25 ? 9 : rng.bounded(2'000));
+  }
+  ASSERT_FALSE(um.heavy_hitters().empty());
+  EXPECT_EQ(um.heavy_hitters().front().first, 9u);
+}
+
+TEST(UnivMon, ResetClears) {
+  auto cfg = small_config(6);
+  UnivMon<QMax<>> um(cfg, [&] { return QMax<>(cfg.heavy_hitters, 0.5); });
+  for (int i = 0; i < 1'000; ++i) um.update(1);
+  um.reset();
+  EXPECT_EQ(um.processed(), 0u);
+  EXPECT_TRUE(um.heavy_hitters().empty());
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Windowed application compositions — the paper's §2.1 claim that q-MAX
+// "extends these methods to slack windows": Priority Sampling and NWHH
+// instantiated over SlackQMax backends, with no application changes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/priority_sampling.hpp"
+#include "common/random.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using qmax::QMax;
+using qmax::SlackQMax;
+using qmax::apps::PrioritySampler;
+using qmax::apps::SamplingEntry;
+using qmax::apps::WeightedKey;
+using qmax::common::Xoshiro256;
+
+using BaseR = QMax<WeightedKey, double>;
+using WindowR = SlackQMax<BaseR>;
+
+TEST(WindowedPrioritySampling, SamplesOnlyRecentKeys) {
+  // Keys arriving > W items ago must never be sampled, however heavy.
+  const std::size_t k = 64;
+  const std::uint64_t W = 10'000;
+  PrioritySampler<WindowR> ps(
+      k, WindowR(W, 0.1, [&] { return BaseR(k + 1, 0.5); }));
+  // Epoch 1: heavy old keys 0..99.
+  for (std::uint64_t key = 0; key < 100; ++key) ps.add(key, 1e9);
+  // Epoch 2: light recent keys, enough to slide the old ones out.
+  Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < 3 * W; ++i) {
+    ps.add(1'000 + i, rng.uniform() + 0.1);
+  }
+  for (const auto& s : ps.sample()) {
+    EXPECT_GE(s.key, 1'000u) << "expired heavy key sampled";
+  }
+}
+
+TEST(WindowedPrioritySampling, RecentHeavyKeysDominate) {
+  const std::size_t k = 128;
+  const std::uint64_t W = 20'000;
+  PrioritySampler<WindowR> ps(
+      k, WindowR(W, 0.1, [&] { return BaseR(k + 1, 0.5); }), /*seed=*/7);
+  Xoshiro256 rng(2);
+  // Noise, then a recent window with planted heavy keys.
+  for (std::uint64_t i = 0; i < 2 * W; ++i) {
+    ps.add(100'000 + i, rng.uniform());
+  }
+  for (std::uint64_t key = 0; key < 10; ++key) ps.add(key, 10'000.0);
+  for (std::uint64_t i = 0; i < W / 2; ++i) {
+    ps.add(500'000 + i, rng.uniform());
+  }
+  std::set<std::uint64_t> sampled;
+  for (const auto& s : ps.sample()) sampled.insert(s.key);
+  int heavy_found = 0;
+  for (std::uint64_t key = 0; key < 10; ++key) {
+    heavy_found += sampled.count(key);
+  }
+  EXPECT_GE(heavy_found, 9) << "recent heavy keys missing from the sample";
+}
+
+TEST(WindowedPrioritySampling, TotalTracksWindowWeight) {
+  // The estimator is scoped to the (slack) window: its total-weight
+  // estimate tracks the recent window's weight, not the stream's.
+  const std::size_t k = 512;
+  const std::uint64_t W = 50'000;
+  PrioritySampler<WindowR> ps(
+      k, WindowR(W, 0.1, [&] { return BaseR(k + 1, 0.25); }), /*seed=*/3);
+  Xoshiro256 rng(3);
+  // Long heavy past (weight 10 each), then a light present (weight 1).
+  for (std::uint64_t i = 0; i < 4 * W; ++i) ps.add(i, 10.0);
+  for (std::uint64_t i = 0; i < W; ++i) ps.add(10'000'000 + i, 1.0);
+  const double est = ps.total_sum();
+  // Window weight ≈ W·1; stream weight ≈ 4W·10 + W. The estimate must be
+  // near the former, nowhere near the latter.
+  EXPECT_LT(est, 3.0 * double(W));
+  EXPECT_GT(est, 0.3 * double(W));
+}
+
+}  // namespace

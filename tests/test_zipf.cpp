@@ -1,0 +1,82 @@
+// Zipf generator distribution tests (rejection-inversion correctness).
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, AlwaysInRange) {
+  ZipfGenerator z(1000, 1.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto k = z(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, SingleValueDomain) {
+  ZipfGenerator z(1, 1.2);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z(rng), 1u);
+}
+
+// Empirical frequencies of the head values must match the analytic pmf.
+void check_head_frequencies(double s, std::uint64_t n) {
+  ZipfGenerator z(n, s);
+  Xoshiro256 rng(42);
+  const int samples = 400'000;
+  std::vector<int> counts(11, 0);
+  int in_head = 0;
+  for (int i = 0; i < samples; ++i) {
+    const auto k = z(rng);
+    if (k <= 10) {
+      counts[k]++;
+      ++in_head;
+    }
+  }
+  double norm = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) norm += std::pow(double(k), -s);
+  for (int k = 1; k <= 10; ++k) {
+    const double expected = samples * std::pow(double(k), -s) / norm;
+    EXPECT_NEAR(counts[k], expected, expected * 0.08 + 50)
+        << "s=" << s << " k=" << k;
+  }
+  EXPECT_GT(in_head, 0);
+}
+
+TEST(Zipf, FrequenciesSkewHalf) { check_head_frequencies(0.5, 10'000); }
+TEST(Zipf, FrequenciesSkewOne) { check_head_frequencies(1.0, 10'000); }
+TEST(Zipf, FrequenciesSkewOnePointTwo) { check_head_frequencies(1.2, 10'000); }
+TEST(Zipf, FrequenciesUniform) {
+  // s = 0 degenerates to the uniform distribution.
+  ZipfGenerator z(100, 0.0);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(101, 0);
+  const int samples = 200'000;
+  for (int i = 0; i < samples; ++i) counts[z(rng)]++;
+  for (int k = 1; k <= 100; ++k) EXPECT_NEAR(counts[k], samples / 100, 400);
+}
+
+TEST(Zipf, LargeDomainDoesNotOverflow) {
+  ZipfGenerator z(1'000'000'000ULL, 1.05);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = z(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1'000'000'000ULL);
+  }
+}
+
+}  // namespace
