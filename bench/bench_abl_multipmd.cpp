@@ -33,6 +33,15 @@ void run_case(benchmark::State& state, std::size_t pmds, Make make) {
     state.counters["MPPS"] = res.aggregate_mpps();
     state.counters["stalls"] = static_cast<double>(res.total_stalls());
     benchmark::DoNotOptimize(reservoir);
+    if (metrics_enabled() && !current_case().empty()) {
+      CaseMetrics cm;
+      for (std::size_t i = 0; i < res.per_pmd.size(); ++i) {
+        cm.bind("pmd" + std::to_string(i), res.per_pmd[i]);
+      }
+      cm.bind("monitor", sw.monitor_telemetry());
+      cm.bind("reservoir", reservoir);
+      cm.commit(current_case());
+    }
   }
 }
 
@@ -46,16 +55,20 @@ void register_all() {
                   pmds);
     benchmark::RegisterBenchmark(
         name,
-        [pmds](benchmark::State& st) {
+        [pmds, n = std::string(name)](benchmark::State& st) {
+          current_case() = n;
           run_case<QR>(st, pmds, [&] { return QR(100'000, 0.25); });
+          current_case().clear();
         })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
     std::snprintf(name, sizeof name, "abl-multipmd/skiplist/pmds=%zu", pmds);
     benchmark::RegisterBenchmark(
         name,
-        [pmds, q](benchmark::State& st) {
+        [pmds, q, n = std::string(name)](benchmark::State& st) {
+          current_case() = n;
           run_case<SR>(st, pmds, [&] { return SR(q); });
+          current_case().clear();
         })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
@@ -66,8 +79,5 @@ void register_all() {
 
 int main(int argc, char** argv) {
   register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return qmax::bench::run_benchmarks(argc, argv);
 }

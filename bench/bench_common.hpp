@@ -7,6 +7,9 @@
 //   QMAX_BENCH_SCALE — stream-length multiplier (default 1.0)
 //   QMAX_BENCH_LARGE — "1" enables the q = 10^7 points
 //   QMAX_BENCH_REPS  — repetitions for the custom-main tables
+//   QMAX_METRICS_OUT — if set, the binary writes a JSON telemetry blob
+//                      (per-case metric snapshots + the global registry)
+//                      to this path on exit ("-" = stdout)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -14,12 +17,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
 #include "common/random.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "telemetry/bind.hpp"
+#include "telemetry/export.hpp"
 #include "trace/synthetic.hpp"
 
 namespace qmax::bench {
@@ -53,6 +59,103 @@ inline const std::vector<trace::PacketRecord>& caida_packets(
   return packets;
 }
 
+// ---- Machine-readable metrics blob (QMAX_METRICS_OUT) ----------------
+//
+// Benches construct their measured structures inside each case, so the
+// harness snapshots a structure's metrics (via telemetry::bind_metrics)
+// right after the timed section, while the structure is still alive, and
+// stitches every case's snapshot into one JSON document on exit.
+
+[[nodiscard]] inline bool metrics_enabled() {
+  return !common::metrics_out().empty();
+}
+
+/// Name of the google-benchmark case currently executing (set by
+/// register_mpps); empty outside a case.
+inline std::string& current_case() {
+  static std::string name;
+  return name;
+}
+
+/// case name -> JSON metrics object, in completion order.
+inline std::vector<std::pair<std::string, std::string>>& metric_cases() {
+  static std::vector<std::pair<std::string, std::string>> cases;
+  return cases;
+}
+
+/// Collects the metrics of one or more live structures for one case.
+class CaseMetrics {
+ public:
+  template <typename T>
+  void bind(const std::string& prefix, const T& obj) {
+    telemetry::bind_metrics_into(reg_, prefix, obj, regs_);
+  }
+
+  /// Snapshot everything bound so far into the process-wide case list.
+  void commit(const std::string& case_name) {
+    metric_cases().emplace_back(
+        case_name, telemetry::metrics_json_object(reg_.collect()));
+  }
+
+ private:
+  telemetry::Registry reg_;
+  std::vector<telemetry::Registration> regs_;
+};
+
+/// Snapshot `obj`'s metrics under the currently running case, if a blob
+/// was requested. Call while `obj` is still alive.
+template <typename T>
+void record_case_metrics(const std::string& prefix, const T& obj) {
+  if (!metrics_enabled() || current_case().empty()) return;
+  CaseMetrics cm;
+  cm.bind(prefix, obj);
+  cm.commit(current_case());
+}
+
+/// Write the blob to QMAX_METRICS_OUT; no-op when unset. Safe to call
+/// multiple times (later calls rewrite the file with more cases).
+inline void write_metrics_blob() {
+  if (!metrics_enabled()) return;
+  std::string json = "{\"telemetry_enabled\": ";
+  json += telemetry::kEnabled ? "true" : "false";
+  json += ", \"cases\": {";
+  bool first = true;
+  for (const auto& [name, metrics] : metric_cases()) {
+    if (!first) json += ", ";
+    first = false;
+    json += '"';
+    json += telemetry::json_escape(name);
+    json += "\": ";
+    json += metrics;
+  }
+  json += "}, \"global\": ";
+  json += telemetry::metrics_json_object(
+      telemetry::Registry::instance().collect());
+  json += "}\n";
+  const std::string& path = common::metrics_out();
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "QMAX_METRICS_OUT: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+/// Standard main-body for the figure benches: run google-benchmark, then
+/// emit the metrics blob if one was requested.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_metrics_blob();
+  return 0;
+}
+
 /// Feed every (index, value) pair into a freshly reported reservoir; the
 /// caller provides `make()` so construction cost stays outside the timer.
 template <typename Make>
@@ -64,6 +167,7 @@ double measure_stream_mpps(Make&& make, const std::vector<double>& values) {
   }
   const double secs = sw.seconds();
   benchmark::DoNotOptimize(r);
+  record_case_metrics("reservoir", r);
   return common::mops(values.size(), secs);
 }
 
@@ -86,16 +190,24 @@ inline const std::vector<double>& sweep_gammas() {
 }
 
 /// Register a google-benchmark case that runs `fn()` (returning MPPS) once
-/// per iteration and exports the result as the "MPPS" counter.
+/// per iteration and exports the result as the "MPPS" counter. The case
+/// name is published through current_case() while fn runs so helpers can
+/// attribute metric snapshots to it.
 template <typename Fn>
 void register_mpps(const std::string& name, Fn fn) {
-  benchmark::RegisterBenchmark(name.c_str(), [fn](benchmark::State& state) {
-    double mpps = 0.0;
-    for (auto _ : state) {
-      mpps = fn();
-    }
-    state.counters["MPPS"] = mpps;
-  })->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [fn, name](benchmark::State& state) {
+        current_case() = name;
+        double mpps = 0.0;
+        for (auto _ : state) {
+          mpps = fn();
+        }
+        state.counters["MPPS"] = mpps;
+        current_case().clear();
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
 }
 
 /// Pretty row printer for the custom-main tables.

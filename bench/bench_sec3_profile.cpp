@@ -131,5 +131,6 @@ int main() {
     std::printf("%8zu %22s %9.1f%% %9.1f%%\n", q, "pba", pba_heap * 100,
                 pba_skip * 100);
   }
+  qmax::bench::write_metrics_blob();
   return 0;
 }

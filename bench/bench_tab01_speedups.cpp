@@ -63,5 +63,6 @@ int main() {
     std::printf("%7.1f%% %13.2fx %13.2fx %13.2fx %13.2fx\n", gamma * 100,
                 min_h, max_h, min_s, max_s);
   }
+  write_metrics_blob();
   return 0;
 }

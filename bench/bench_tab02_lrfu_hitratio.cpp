@@ -37,10 +37,18 @@ int main() {
         static_cast<std::size_t>(double(q) * (1 + gamma)), c);
     for (std::uint64_t i = 0; i < n; ++i) mid.access(gen1.next());
     for (std::uint64_t i = 0; i < n; ++i) large.access(gen2.next());
+    if (metrics_enabled()) {
+      char case_name[32];
+      std::snprintf(case_name, sizeof(case_name), "tab02/gamma=%.2f", gamma);
+      CaseMetrics cm;
+      cm.bind("cache", mid);
+      cm.commit(case_name);
+    }
     std::printf("%7.0f%% %24s %9.1f%%\n", gamma * 100, "q-MAX based LRFU",
                 mid.hit_ratio() * 100);
     std::printf("%7.0f%% %24s %9.1f%%\n", gamma * 100, "q(1+gamma)-sized LRFU",
                 large.hit_ratio() * 100);
   }
+  write_metrics_blob();
   return 0;
 }

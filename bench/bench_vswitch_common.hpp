@@ -33,13 +33,21 @@ struct ReservoirMonitor {
 };
 
 /// Run the switch over `packets` with monitoring via `consumer`; returns
-/// delivered Mpps against the given line rate.
+/// delivered Mpps against the given line rate. When a metrics blob was
+/// requested, the run's datapath counters, ring gauges, and monitor-side
+/// instruments are snapshotted under the current case.
 template <typename Consumer>
 double run_switch_monitored(const std::vector<trace::PacketRecord>& packets,
                             double line_rate_pps, Consumer&& consumer) {
   vswitch::VirtualSwitch sw;
   sw.install_default_rules();
   const auto res = sw.forward_monitored(packets, consumer);
+  if (metrics_enabled() && !current_case().empty()) {
+    CaseMetrics cm;
+    cm.bind("switch", res);
+    cm.bind("monitor", sw.monitor_telemetry());
+    cm.commit(current_case());
+  }
   return res.delivered_mpps(line_rate_pps);
 }
 

@@ -33,11 +33,35 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+
 namespace qmax::cache {
 
 template <typename Key = std::uint64_t>
 class LrfuQMaxCache {
  public:
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter maintenance_passes;
+    telemetry::Counter merged_duplicates;   // array slots folded per pass
+    telemetry::Counter evicted_keys;
+    telemetry::Histogram evict_batch_size;  // keys evicted per pass
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("maintenance_passes", maintenance_passes);
+      fn("merged_duplicates", merged_duplicates);
+      fn("evicted_keys", evicted_keys);
+      fn("evict_batch_size", evict_batch_size);
+    }
+    void reset() noexcept {
+      maintenance_passes.reset();
+      merged_duplicates.reset();
+      evicted_keys.reset();
+      evict_batch_size.reset();
+    }
+  };
   LrfuQMaxCache(std::size_t q, double decay, double gamma = 0.25)
       : q_(q), log_c_(std::log(decay)) {
     if (q == 0) throw std::invalid_argument("LrfuQMaxCache: q must be positive");
@@ -113,7 +137,10 @@ class LrfuQMaxCache {
     t_ = 0;
     hits_ = 0;
     accesses_ = 0;
+    tm_.reset();
   }
+
+  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
   static constexpr std::uint32_t kPending = 0xFFFFFFFFu;
@@ -124,6 +151,8 @@ class LrfuQMaxCache {
   };
 
   void maintain() {
+    tm_.maintenance_passes.inc();
+    const std::size_t before = entries_.size();
     // Phase 1: merge duplicates in arrival order. index_ doubles as the
     // key → compacted-position map during the pass.
     std::size_t out = 0;
@@ -144,9 +173,12 @@ class LrfuQMaxCache {
       }
     }
     entries_.resize(out);
+    tm_.merged_duplicates.inc(before - out);
 
     // Phase 2+3: keep the q heaviest, evict the rest.
     if (entries_.size() > q_) {
+      tm_.evicted_keys.inc(entries_.size() - q_);
+      tm_.evict_batch_size.record(entries_.size() - q_);
       std::nth_element(entries_.begin(),
                        entries_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
                        entries_.end(),
@@ -170,6 +202,7 @@ class LrfuQMaxCache {
   std::uint64_t t_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t accesses_ = 0;
+  [[no_unique_address]] Telemetry tm_;
 };
 
 }  // namespace qmax::cache

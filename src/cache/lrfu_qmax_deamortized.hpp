@@ -39,12 +39,38 @@
 
 #include "common/select.hpp"
 #include "qmax/entry.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace qmax::cache {
 
 template <typename Key = std::uint64_t>
 class LrfuQMaxCacheDeamortized {
  public:
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter inplace_merges;      // Part-2 scratch-slot merges
+    telemetry::Counter map_only_updates;    // resident claim still above Ψ
+    telemetry::Counter fresh_claims;        // array appends
+    telemetry::Counter psi_updates;
+    telemetry::Histogram steps_per_access;  // selection ops per fresh claim
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("inplace_merges", inplace_merges);
+      fn("map_only_updates", map_only_updates);
+      fn("fresh_claims", fresh_claims);
+      fn("psi_updates", psi_updates);
+      fn("steps_per_access", steps_per_access);
+    }
+    void reset() noexcept {
+      inplace_merges.reset();
+      map_only_updates.reset();
+      fresh_claims.reset();
+      psi_updates.reset();
+      steps_per_access.reset();
+    }
+  };
   LrfuQMaxCacheDeamortized(std::size_t q, double decay, double gamma = 0.25,
                            unsigned budget_factor = 4)
       : q_(q), log_c_(std::log(decay)) {
@@ -98,21 +124,26 @@ class LrfuQMaxCacheDeamortized {
       it->second.w = w_new;
       it->second.claim_w = w_new;
       arr_[it->second.claim_slot].w = w_new;
+      tm_.inplace_merges.inc();
       return hit;
     }
     if (hit && it->second.claim_w > psi_) {
       // The resident claim still clears the admission bound: it safely
       // lower-bounds the key. Update the map only.
       it->second.w = w_new;
+      tm_.map_only_updates.inc();
       return hit;
     }
     // Fresh claim (miss, or resident claim at risk of eviction).
+    tm_.fresh_claims.inc();
     const std::size_t slot = scratch_base() + steps_;
     reconcile_overwrite(slot);  // lazy eviction of last iteration's loser
     arr_[slot] = Claim{key, w_new};
     index_[key] = Info{w_new, w_new, iteration_, slot};
     ++steps_;
+    const std::uint64_t ops_before = select_.total_ops();
     advance_selection();
+    tm_.steps_per_access.record(select_.total_ops() - ops_before);
     if (steps_ == g_) end_iteration();
     return hit;
   }
@@ -142,6 +173,7 @@ class LrfuQMaxCacheDeamortized {
   [[nodiscard]] std::uint64_t late_selections() const noexcept {
     return late_selections_;
   }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
   void reset() {
     arr_.assign(arr_.size(), Claim{Key{}, kEmptyValue<double>});
@@ -153,6 +185,8 @@ class LrfuQMaxCacheDeamortized {
     psi_ = kEmptyValue<double>;
     parity_a_ = true;
     iteration_ = 0;
+    late_selections_ = 0;
+    tm_.reset();
     begin_iteration();
   }
 
@@ -199,7 +233,10 @@ class LrfuQMaxCacheDeamortized {
   void apply_new_threshold() {
     if (psi_applied_) return;
     const double nth = select_.nth().w;
-    if (nth > psi_) psi_ = nth;
+    if (nth > psi_) {
+      psi_ = nth;
+      tm_.psi_updates.inc();
+    }
     psi_applied_ = true;
   }
 
@@ -245,6 +282,7 @@ class LrfuQMaxCacheDeamortized {
   std::uint64_t accesses_ = 0;
   std::uint64_t step_budget_ = 0;
   std::uint64_t late_selections_ = 0;
+  [[no_unique_address]] Telemetry tm_;
   common::IncrementalSelect<Claim, ClaimOrder> select_;
 };
 

@@ -38,6 +38,14 @@ int bench_reps() noexcept {
   return reps;
 }
 
+const std::string& metrics_out() {
+  static const std::string path = [] {
+    const char* v = std::getenv("QMAX_METRICS_OUT");
+    return std::string(v == nullptr ? "" : v);
+  }();
+  return path;
+}
+
 std::uint64_t scaled(std::uint64_t base) noexcept {
   const double x = std::round(static_cast<double>(base) * bench_scale());
   return x < 1.0 ? 1 : static_cast<std::uint64_t>(x);

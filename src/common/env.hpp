@@ -6,15 +6,21 @@
 //                       laptop-friendly fraction declared per benchmark)
 //   QMAX_BENCH_LARGE  — "1" enables the q = 10^7 data points
 //   QMAX_BENCH_REPS   — repetitions per data point (default 3; paper: 10)
+//   QMAX_METRICS_OUT  — path for the JSON telemetry blob benches write on
+//                       exit ("-" = stdout; unset = no blob)
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace qmax::common {
 
 [[nodiscard]] double bench_scale() noexcept;
 [[nodiscard]] bool bench_large() noexcept;
 [[nodiscard]] int bench_reps() noexcept;
+
+/// Destination for the benches' JSON metrics blob; empty = disabled.
+[[nodiscard]] const std::string& metrics_out();
 
 /// items = max(1, round(base * bench_scale()))
 [[nodiscard]] std::uint64_t scaled(std::uint64_t base) noexcept;

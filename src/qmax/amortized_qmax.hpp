@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "qmax/entry.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace qmax {
 
@@ -30,6 +32,25 @@ class AmortizedQMax {
  public:
   using EntryT = BasicEntry<Id, Value>;
   using EvictCallback = std::function<void(const EntryT&)>;
+
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter maintenance_passes;  // full nth_element sweeps
+    telemetry::Counter evicted_items;
+    telemetry::Histogram evict_batch_size;  // items dropped per sweep
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("maintenance_passes", maintenance_passes);
+      fn("evicted_items", evicted_items);
+      fn("evict_batch_size", evict_batch_size);
+    }
+    void reset() noexcept {
+      maintenance_passes.reset();
+      evicted_items.reset();
+      evict_batch_size.reset();
+    }
+  };
 
   explicit AmortizedQMax(std::size_t q, double gamma = 0.25) : q_(q) {
     if (q == 0) throw std::invalid_argument("AmortizedQMax: q must be positive");
@@ -86,6 +107,7 @@ class AmortizedQMax {
     psi_ = kEmptyValue<Value>;
     processed_ = 0;
     admitted_ = 0;
+    tm_.reset();
   }
 
   void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
@@ -96,6 +118,7 @@ class AmortizedQMax {
   [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
   [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
   void maintain() {
@@ -106,6 +129,10 @@ class AmortizedQMax {
     if (on_evict_) {
       for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
     }
+    const std::size_t batch = arr_.size() - q_;
+    tm_.maintenance_passes.inc();
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
     arr_.resize(q_);
   }
 
@@ -116,6 +143,7 @@ class AmortizedQMax {
   Value psi_ = kEmptyValue<Value>;
   std::uint64_t processed_ = 0;
   std::uint64_t admitted_ = 0;
+  [[no_unique_address]] Telemetry tm_;
   EvictCallback on_evict_;
   mutable std::vector<EntryT> scratch_;
 };

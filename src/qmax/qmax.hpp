@@ -35,6 +35,8 @@
 
 #include "common/select.hpp"
 #include "qmax/entry.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace qmax {
 
@@ -54,6 +56,32 @@ class QMax {
     /// ~2-3(q+g) expected ops per iteration of g steps; budget_factor
     /// scales the per-step allowance above that expectation.
     unsigned budget_factor = 4;
+  };
+
+  /// Gated instruments (zero-size no-ops unless built with
+  /// -DQMAX_TELEMETRY=ON); exported via telemetry::bind_metrics.
+  struct Telemetry {
+    telemetry::Counter psi_updates;        // admission-bound raises
+    telemetry::Counter evict_batches;      // iteration-end batch evictions
+    telemetry::Counter evicted_items;      // items evicted across batches
+    telemetry::Histogram steps_per_add;    // selection ops per admitted item
+    telemetry::Histogram evict_batch_size; // live items per batch eviction
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("psi_updates", psi_updates);
+      fn("evict_batches", evict_batches);
+      fn("evicted_items", evicted_items);
+      fn("steps_per_add", steps_per_add);
+      fn("evict_batch_size", evict_batch_size);
+    }
+    void reset() noexcept {
+      psi_updates.reset();
+      evict_batches.reset();
+      evicted_items.reset();
+      steps_per_add.reset();
+      evict_batch_size.reset();
+    }
   };
 
   explicit QMax(std::size_t q, double gamma) : QMax(q, Options{.gamma = gamma}) {}
@@ -85,7 +113,9 @@ class QMax {
     arr_[scratch_base() + steps_] = EntryT{id, val};
     ++live_;
     ++steps_;
+    const std::uint64_t ops_before = select_.total_ops();
     advance_selection();
+    tm_.steps_per_add.record(select_.total_ops() - ops_before);
     if (steps_ == g_) end_iteration();
     return true;
   }
@@ -146,6 +176,8 @@ class QMax {
     live_ = 0;
     processed_ = 0;
     admitted_ = 0;
+    late_selections_ = 0;
+    tm_.reset();
     begin_iteration();
   }
 
@@ -163,6 +195,7 @@ class QMax {
   [[nodiscard]] std::uint64_t late_selections() const noexcept {
     return late_selections_;
   }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
   [[nodiscard]] std::size_t scratch_base() const noexcept {
@@ -192,7 +225,10 @@ class QMax {
   void apply_new_threshold() {
     if (psi_applied_) return;
     const Value nth = select_.nth().val;
-    if (nth > psi_) psi_ = nth;
+    if (nth > psi_) {
+      psi_ = nth;
+      tm_.psi_updates.inc();
+    }
     psi_applied_ = true;
   }
 
@@ -205,13 +241,18 @@ class QMax {
     apply_new_threshold();
     // Evict the g candidates that lost the selection.
     const std::size_t lose_lo = parity_a_ ? 0 : g_ + q_;
+    std::size_t batch = 0;
     for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
       if (arr_[i].val != kEmptyValue<Value>) {
         if (on_evict_) on_evict_(arr_[i]);
         --live_;
+        ++batch;
         arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
       }
     }
+    tm_.evict_batches.inc();
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
     parity_a_ = !parity_a_;
     steps_ = 0;
     begin_iteration();
@@ -236,6 +277,7 @@ class QMax {
   std::uint64_t admitted_ = 0;
   std::uint64_t late_selections_ = 0;
 
+  [[no_unique_address]] Telemetry tm_;
   common::IncrementalSelect<EntryT, ValueOrder<Id, Value>> select_;
   EvictCallback on_evict_;
   mutable std::vector<EntryT> scratch_;  // query gather buffer (reused)

@@ -39,6 +39,8 @@
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace qmax {
 
@@ -53,6 +55,25 @@ class SlackQMax {
   struct Options {
     std::size_t levels = 1;  // c; 1 = Algorithm 3, >1 = Algorithm 4
     bool lazy = false;       // Theorem 7 front-reservoir mode
+  };
+
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter block_resets;       // ring slots recycled
+    telemetry::Counter front_flushes;      // lazy-mode front drains
+    telemetry::Histogram blocks_per_query; // blocks merged per query
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("block_resets", block_resets);
+      fn("front_flushes", front_flushes);
+      fn("blocks_per_query", blocks_per_query);
+    }
+    void reset() noexcept {
+      block_resets.reset();
+      front_flushes.reset();
+      blocks_per_query.reset();
+    }
   };
 
   SlackQMax(std::uint64_t window, double tau, Factory factory,
@@ -135,11 +156,15 @@ class SlackQMax {
   void collect_into(std::vector<EntryT>& out, bool clear) const {
     if (clear) out.clear();
     const std::uint64_t t = t_;
+    std::uint64_t blocks_merged = 0;
     // Horizon: where coarse-block content ends. In lazy mode, levels only
     // contain flushed data (multiples of the finest block size); the front
     // reservoir covers (horizon, t].
     const std::uint64_t horizon = opts_.lazy ? t - (t % fine_block_) : t;
-    if (opts_.lazy && t > horizon) front_[0].query_into(out);
+    if (opts_.lazy && t > horizon) {
+      front_[0].query_into(out);
+      ++blocks_merged;
+    }
 
     std::uint64_t e = horizon;
     std::uint64_t stop =
@@ -156,12 +181,14 @@ class SlackQMax {
         const std::uint64_t slot = idx % lv.num_blocks;
         if (lv.start[slot] != bstart) continue;  // recycled by the ring
         lv.blocks[slot].query_into(out);
+        ++blocks_merged;
         e = bstart;
         found = true;
         break;
       }
       if (!found) break;  // t < W(1−τ): everything stored is now covered
     }
+    tm_.blocks_per_query.record(blocks_merged);
     coverage_ = t - e;
   }
 
@@ -185,6 +212,7 @@ class SlackQMax {
     if (opts_.lazy) front_[0].reset();
     t_ = 0;
     coverage_ = 0;
+    tm_.reset();
   }
 
   [[nodiscard]] std::size_t q() const {
@@ -212,6 +240,7 @@ class SlackQMax {
     for (const Level& lv : levels_) n += lv.blocks.size();
     return n;
   }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
   static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
@@ -230,11 +259,13 @@ class SlackQMax {
     if (lv.start[slot] != bstart) {  // entering a new block: recycle slot
       lv.blocks[slot].reset();
       lv.start[slot] = bstart;
+      tm_.block_resets.inc();
     }
     return lv.blocks[slot];
   }
 
   void flush_front() {
+    tm_.front_flushes.inc();
     flush_buf_.clear();
     front_[0].query_into(flush_buf_);
     // The finished block spans (t_ − s, t_]; its item index is t_ − 1.
@@ -246,6 +277,7 @@ class SlackQMax {
       if (lv.start[slot] != bstart) {
         lv.blocks[slot].reset();
         lv.start[slot] = bstart;
+        tm_.block_resets.inc();
       }
       for (const EntryT& e : flush_buf_) lv.blocks[slot].add(e.id, e.val);
     }
@@ -263,6 +295,8 @@ class SlackQMax {
   std::vector<R> front_;           // lazy mode only (size 1; R not movable-required)
   std::uint64_t t_ = 0;
   mutable std::uint64_t coverage_ = 0;
+  // mutable: blocks_per_query is recorded from the const query path.
+  [[no_unique_address]] mutable Telemetry tm_;
   mutable std::vector<EntryT> merge_buf_;
   std::vector<EntryT> flush_buf_;
 };

@@ -1,0 +1,202 @@
+// Process-wide named-metric registry.
+//
+// The registry is deliberately *not* on any hot path: instruments live
+// inside the measured structures (see counters.hpp) and the registry only
+// holds named read closures over them. It therefore compiles
+// unconditionally — with QMAX_TELEMETRY off, the disabled instruments
+// read as zero and the binders in bind.hpp simply register fewer metrics.
+//
+// Lifetime contract: a read closure captures a pointer to the instrument
+// owner, so the Registration handle must be dropped (unregistering the
+// metric) before the owner dies. Registration is a move-only RAII handle
+// for exactly that.
+//
+// Name collisions are resolved deterministically: the second registration
+// of "qmax.admitted" becomes "qmax.admitted#2", the third "#3", and so
+// on — concurrent structures of the same kind stay individually visible
+// instead of silently shadowing each other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+
+namespace qmax::telemetry {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric read at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  // kCounter
+  double gauge = 0.0;         // kGauge
+  HistogramSnapshot hist;     // kHistogram
+};
+
+class Registry;
+
+/// Move-only RAII handle: unregisters its metric on destruction.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(Registry* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+  Registration(Registration&& other) noexcept
+      : owner_(other.owner_), id_(other.id_) {
+    other.owner_ = nullptr;
+  }
+  Registration& operator=(Registration&& other) noexcept {
+    if (this != &other) {
+      release();
+      owner_ = other.owner_;
+      id_ = other.id_;
+      other.owner_ = nullptr;
+    }
+    return *this;
+  }
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration() { release(); }
+
+  void release();  // defined after Registry
+
+  [[nodiscard]] bool active() const noexcept { return owner_ != nullptr; }
+
+ private:
+  Registry* owner_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The default process-wide registry.
+  static Registry& instance() {
+    static Registry reg;
+    return reg;
+  }
+
+  [[nodiscard]] Registration add_counter(
+      std::string name, std::function<std::uint64_t()> read) {
+    return add(std::move(name), MetricKind::kCounter, Reader{std::move(read)});
+  }
+
+  [[nodiscard]] Registration add_gauge(std::string name,
+                                       std::function<double()> read) {
+    return add(std::move(name), MetricKind::kGauge, Reader{std::move(read)});
+  }
+
+  [[nodiscard]] Registration add_histogram(
+      std::string name, std::function<HistogramSnapshot()> read) {
+    return add(std::move(name), MetricKind::kHistogram,
+               Reader{std::move(read)});
+  }
+
+  /// Read every registered metric, in registration order.
+  [[nodiscard]] std::vector<MetricSample> collect() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<MetricSample> out;
+    out.reserve(metrics_.size());
+    for (const auto& m : metrics_) {
+      MetricSample s;
+      s.name = m.name;
+      s.kind = m.kind;
+      switch (m.kind) {
+        case MetricKind::kCounter:
+          s.counter = m.reader.counter();
+          break;
+        case MetricKind::kGauge:
+          s.gauge = m.reader.gauge();
+          break;
+        case MetricKind::kHistogram:
+          s.hist = m.reader.hist();
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return metrics_.size();
+  }
+
+  void remove(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (metrics_[i].id == id) {
+        metrics_.erase(metrics_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.clear();
+  }
+
+ private:
+  struct Reader {
+    std::function<std::uint64_t()> counter;
+    std::function<double()> gauge;
+    std::function<HistogramSnapshot()> hist;
+
+    explicit Reader(std::function<std::uint64_t()> c) : counter(std::move(c)) {}
+    explicit Reader(std::function<double()> g) : gauge(std::move(g)) {}
+    explicit Reader(std::function<HistogramSnapshot()> h)
+        : hist(std::move(h)) {}
+  };
+
+  struct Metric {
+    std::string name;
+    MetricKind kind;
+    Reader reader;
+    std::uint64_t id;
+  };
+
+  Registration add(std::string name, MetricKind kind, Reader reader) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    metrics_.push_back(
+        Metric{uniquify(std::move(name)), kind, std::move(reader), id});
+    return Registration{this, id};
+  }
+
+  [[nodiscard]] bool name_taken(const std::string& name) const {
+    for (const auto& m : metrics_) {
+      if (m.name == name) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string uniquify(std::string name) const {
+    if (!name_taken(name)) return name;
+    for (std::uint64_t suffix = 2;; ++suffix) {
+      std::string candidate = name + "#" + std::to_string(suffix);
+      if (!name_taken(candidate)) return candidate;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Metric> metrics_;
+  std::uint64_t next_id_ = 1;
+};
+
+inline void Registration::release() {
+  if (owner_ != nullptr) {
+    owner_->remove(id_);
+    owner_ = nullptr;
+  }
+}
+
+}  // namespace qmax::telemetry

@@ -50,6 +50,24 @@ struct MultiRunResult {
     for (const auto& r : per_pmd) n += r.backpressure_stalls;
     return n;
   }
+  [[nodiscard]] std::uint64_t total_drops() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.records_dropped;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_drained() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.records_drained;
+    return n;
+  }
+  /// Peak occupancy across every PMD's monitor ring.
+  [[nodiscard]] std::uint64_t max_ring_occupancy() const noexcept {
+    std::uint64_t m = 0;
+    for (const auto& r : per_pmd) {
+      if (r.ring_occupancy_max > m) m = r.ring_occupancy_max;
+    }
+    return m;
+  }
 };
 
 class MultiPmdSwitch {
@@ -99,6 +117,13 @@ class MultiPmdSwitch {
     res.packets = packets.size();
     std::atomic<std::size_t> producers_done{0};
 
+    // Monitor-side per-ring gauges; published into res.per_pmd after the
+    // joins (which order the writes), so producers and the monitor never
+    // touch the same RunResult concurrently.
+    std::vector<std::uint64_t> occ_max(n, 0);
+    std::vector<std::uint64_t> drain_batches(n, 0);
+    std::vector<std::uint64_t> drained(n, 0);
+
     common::Stopwatch wall;
     std::vector<std::thread> pmd_threads;
     pmd_threads.reserve(n);
@@ -114,15 +139,25 @@ class MultiPmdSwitch {
       for (;;) {
         bool any = false;
         for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t occ = rings[i]->size_approx();
           const std::size_t got = rings[i]->pop_batch(batch, 64);
           for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
-          any |= got > 0;
+          if (got > 0) {
+            ++drain_batches[i];
+            drained[i] += got;
+            if (occ > occ_max[i]) occ_max[i] = occ;
+            mon_tm_.drain_batch.record(got);
+            mon_tm_.ring_occupancy.record(occ);
+            mon_tm_.records_drained.inc(got);
+            any = true;
+          }
         }
         if (!any) {
+          mon_tm_.empty_polls.inc();
           if (producers_done.load(std::memory_order_acquire) == n) {
-            bool drained = true;
-            for (const auto& r : rings) drained &= r->empty_approx();
-            if (drained) break;
+            bool all_empty = true;
+            for (const auto& r : rings) all_empty &= r->empty_approx();
+            if (all_empty) break;
           }
           std::this_thread::yield();
         }
@@ -133,8 +168,20 @@ class MultiPmdSwitch {
     const double producer_wall = wall.seconds();
     monitor.join();
     res.seconds = producer_wall;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.per_pmd[i].ring_capacity = rings[i]->capacity();
+      res.per_pmd[i].ring_occupancy_max = occ_max[i];
+      res.per_pmd[i].drain_batches = drain_batches[i];
+      res.per_pmd[i].records_drained = drained[i];
+    }
     return res;
   }
+
+  /// Consumer-side instruments across all rings, accumulated over runs.
+  [[nodiscard]] const MonitorTelemetry& monitor_telemetry() const noexcept {
+    return mon_tm_;
+  }
+  void reset_monitor_telemetry() noexcept { mon_tm_.reset(); }
 
   /// Forward without monitoring (the vanilla baseline).
   MultiRunResult forward(std::span<const trace::PacketRecord> packets) {
@@ -160,6 +207,7 @@ class MultiPmdSwitch {
  private:
   MultiPmdConfig cfg_;
   std::vector<std::unique_ptr<VirtualSwitch>> pmds_;
+  [[no_unique_address]] MonitorTelemetry mon_tm_;
 };
 
 }  // namespace qmax::vswitch

@@ -22,6 +22,8 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 #include "trace/packet.hpp"
 #include "vswitch/flow_table.hpp"
 #include "vswitch/ring_buffer.hpp"
@@ -47,6 +49,30 @@ struct SwitchConfig {
   std::size_t rx_burst = 32;
 };
 
+/// Gated instruments for the measurement-consumer side (no-ops unless
+/// -DQMAX_TELEMETRY=ON). The drained-records counter is cache-line padded:
+/// it is written by the monitor thread while the PMD thread works nearby.
+struct MonitorTelemetry {
+  telemetry::Histogram drain_batch;     // records per non-empty pop_batch
+  telemetry::Histogram ring_occupancy;  // occupancy sampled per drain round
+  telemetry::Counter empty_polls;       // rounds that found nothing to drain
+  telemetry::PaddedCounter records_drained;
+
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    fn("drain_batch", drain_batch);
+    fn("ring_occupancy", ring_occupancy);
+    fn("empty_polls", empty_polls);
+    fn("records_drained", records_drained);
+  }
+  void reset() noexcept {
+    drain_batch.reset();
+    ring_occupancy.reset();
+    empty_polls.reset();
+    records_drained.reset();
+  }
+};
+
 struct RunResult {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
@@ -56,6 +82,12 @@ struct RunResult {
   std::uint64_t forwarded = 0;
   std::uint64_t table_misses = 0;
   std::uint64_t upcalls = 0;
+  // Monitor-ring visibility (filled only by monitored runs; the consumer
+  // samples once per drain round, so these cost nothing per packet).
+  std::uint64_t ring_capacity = 0;
+  std::uint64_t ring_occupancy_max = 0;
+  std::uint64_t drain_batches = 0;
+  std::uint64_t records_drained = 0;
 
   /// Raw datapath rate (Mpps) — how fast the PMD loop actually ran.
   [[nodiscard]] double datapath_mpps() const noexcept {
@@ -72,6 +104,16 @@ struct RunResult {
   [[nodiscard]] double delivered_gbps(double line_rate_pps,
                                       double mean_wire_bytes) const noexcept {
     return delivered_mpps(line_rate_pps) * 1e6 * mean_wire_bytes * 8.0 / 1e9;
+  }
+  /// Records handed to the monitor ring (monitored runs only).
+  [[nodiscard]] std::uint64_t records_enqueued() const noexcept {
+    return packets - records_dropped;
+  }
+  /// Peak ring occupancy as a fraction of capacity.
+  [[nodiscard]] double ring_occupancy_peak_frac() const noexcept {
+    return ring_capacity == 0 ? 0.0
+                              : static_cast<double>(ring_occupancy_max) /
+                                    static_cast<double>(ring_capacity);
   }
 };
 
@@ -112,12 +154,19 @@ class VirtualSwitch {
     SpscRing<MonitorRecord> ring(cfg_.ring_capacity);
     std::atomic<bool> producer_done{false};
     RunResult res;
+    // Monitor-side gauges; published into `res` after join (the join is
+    // the synchronisation point, so no atomics are needed).
+    std::uint64_t occ_max = 0;
+    std::uint64_t drain_batches = 0;
+    std::uint64_t drained = 0;
 
     std::thread monitor([&] {
       MonitorRecord batch[64];
       for (;;) {
+        const std::size_t occ = ring.size_approx();
         const std::size_t n = ring.pop_batch(batch, 64);
         if (n == 0) {
+          mon_tm_.empty_polls.inc();
           if (producer_done.load(std::memory_order_acquire) &&
               ring.empty_approx()) {
             break;
@@ -126,6 +175,12 @@ class VirtualSwitch {
           std::this_thread::yield();
           continue;
         }
+        ++drain_batches;
+        drained += n;
+        if (occ > occ_max) occ_max = occ;
+        mon_tm_.drain_batch.record(n);
+        mon_tm_.ring_occupancy.record(occ);
+        mon_tm_.records_drained.inc(n);
         for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
       }
     });
@@ -135,6 +190,10 @@ class VirtualSwitch {
     res.seconds = sw.seconds();
     producer_done.store(true, std::memory_order_release);
     monitor.join();
+    res.ring_capacity = ring.capacity();
+    res.ring_occupancy_max = occ_max;
+    res.drain_batches = drain_batches;
+    res.records_drained = drained;
     return res;
   }
 
@@ -148,6 +207,12 @@ class VirtualSwitch {
     res.seconds = sw.seconds();
   }
 
+  /// Consumer-side instruments, accumulated across monitored runs.
+  [[nodiscard]] const MonitorTelemetry& monitor_telemetry() const noexcept {
+    return mon_tm_;
+  }
+  void reset_monitor_telemetry() noexcept { mon_tm_.reset(); }
+
  private:
   /// The PMD poll loop. `ring == nullptr` disables monitoring.
   void pmd_loop(std::span<const trace::PacketRecord> packets,
@@ -156,6 +221,7 @@ class VirtualSwitch {
   SwitchConfig cfg_;
   FlowTable table_;
   UpcallHandler upcall_;
+  [[no_unique_address]] MonitorTelemetry mon_tm_;
   std::uint64_t tx_counts_[256] = {};
 };
 

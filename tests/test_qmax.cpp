@@ -188,6 +188,21 @@ TEST(QMax, ResetRestoresFreshState) {
   EXPECT_EQ(queried_values(r), top_q_oracle(all, 16));
 }
 
+TEST(QMax, ResetClearsLateSelections) {
+  // budget_factor = 0 gives the selection no per-step allowance, so every
+  // iteration ends with the synchronous safety net — a guaranteed way to
+  // accumulate late_selections, which reset() must clear along with the
+  // rest of the state.
+  QMax<> r(64, QMax<>::Options{.gamma = 0.5, .budget_factor = 0});
+  for (int i = 0; i < 10'000; ++i) {
+    r.add(static_cast<std::uint64_t>(i), static_cast<double>(i));
+  }
+  ASSERT_GT(r.late_selections(), 0u);
+  r.reset();
+  EXPECT_EQ(r.late_selections(), 0u);
+  EXPECT_EQ(r.admitted(), 0u);
+}
+
 TEST(QMax, RejectsNaN) {
   QMax<> r(4, 0.25);
   EXPECT_FALSE(r.add(1, std::numeric_limits<double>::quiet_NaN()));
