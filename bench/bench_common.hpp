@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -91,6 +92,11 @@ class CaseMetrics {
     telemetry::bind_metrics_into(reg_, prefix, obj, regs_);
   }
 
+  /// Attach a bench-computed scalar (a rate, a speedup) to the case blob.
+  void add_value(const std::string& name, double v) {
+    regs_.push_back(reg_.add_gauge(name, [v] { return v; }));
+  }
+
   /// Snapshot everything bound so far into the process-wide case list.
   void commit(const std::string& case_name) {
     metric_cases().emplace_back(
@@ -164,6 +170,40 @@ double measure_stream_mpps(Make&& make, const std::vector<double>& values) {
   common::Stopwatch sw;
   for (std::size_t i = 0; i < values.size(); ++i) {
     r.add(static_cast<std::uint64_t>(i), values[i]);
+  }
+  const double secs = sw.seconds();
+  benchmark::DoNotOptimize(r);
+  record_case_metrics("reservoir", r);
+  return common::mops(values.size(), secs);
+}
+
+/// Sequential ids 0..n-1, materialized once per process and grown on
+/// demand. The batched drivers read ids from here so id staging stays
+/// outside the timed section — in the real drain loops the ids arrive
+/// already materialized in the ring records.
+inline const std::uint64_t* bench_ids(std::size_t n) {
+  static std::vector<std::uint64_t> ids;
+  if (ids.size() < n) {
+    const std::size_t old = ids.size();
+    ids.resize(n);
+    for (std::size_t i = old; i < n; ++i) ids[i] = i;
+  }
+  return ids.data();
+}
+
+/// Batch-mode twin of measure_stream_mpps: the same stream fed through the
+/// reservoir's add_batch in chunks of `batch_size` items — the shape the
+/// vswitch drain loop produces.
+template <typename Make>
+double measure_stream_mpps_batched(Make&& make,
+                                   const std::vector<double>& values,
+                                   std::size_t batch_size = 64) {
+  auto r = make();
+  const std::uint64_t* ids = bench_ids(values.size());
+  common::Stopwatch sw;
+  for (std::size_t i = 0; i < values.size(); i += batch_size) {
+    const std::size_t m = std::min(batch_size, values.size() - i);
+    r.add_batch(ids + i, values.data() + i, m);
   }
   const double secs = sw.seconds();
   benchmark::DoNotOptimize(r);

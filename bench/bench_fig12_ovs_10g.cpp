@@ -26,6 +26,14 @@ void register_all() {
           QMax<std::uint32_t, double>(q, 0.25)};
       return run_switch_monitored(pkts, line, std::ref(mon));
     });
+    // Same reservoir behind the batched drain path: each ring pop is
+    // handed to add_batch instead of 64 scalar calls.
+    std::snprintf(name, sizeof name, "fig12/qmax-batch(g=0.25)/q=%zu", q);
+    register_mpps(name, [&pkts, line, q] {
+      BatchReservoirMonitor<QMax<std::uint32_t, double>> mon{
+          QMax<std::uint32_t, double>(q, 0.25)};
+      return run_switch_monitored(pkts, line, std::ref(mon));
+    });
     std::snprintf(name, sizeof name, "fig12/heap/q=%zu", q);
     register_mpps(name, [&pkts, line, q] {
       ReservoirMonitor<baselines::HeapQMax<std::uint32_t, double>> mon{

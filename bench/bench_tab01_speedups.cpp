@@ -31,6 +31,15 @@ double mean_mpps(Make&& make, const std::vector<double>& values) {
   return common::summarize(runs).mean;
 }
 
+template <typename Make>
+double mean_mpps_batched(Make&& make, const std::vector<double>& values) {
+  std::vector<double> runs;
+  for (int r = 0; r < common::bench_reps(); ++r) {
+    runs.push_back(measure_stream_mpps_batched(make, values));
+  }
+  return common::summarize(runs).mean;
+}
+
 }  // namespace
 
 int main() {
@@ -47,12 +56,21 @@ int main() {
         mean_mpps([&] { return baselines::SkipListQMax<>(q); }, values);
   }
 
-  std::printf("%8s %14s %14s %14s %14s\n", "gamma", "minVsHeap", "maxVsHeap",
-              "minVsSkip", "maxVsSkip");
+  // The scalar/batch columns record the two q-MAX ingestion paths side by
+  // side (batch = add_batch in 64-item chunks, the ring-drain shape);
+  // the speedup columns keep the paper's scalar-path comparison.
+  std::printf("%8s %14s %14s %14s %14s %12s %12s %10s\n", "gamma",
+              "minVsHeap", "maxVsHeap", "minVsSkip", "maxVsSkip",
+              "scalarMPPS", "batchMPPS", "batchGain");
   for (double gamma : sweep_gammas()) {
     double min_h = 1e300, max_h = 0, min_s = 1e300, max_s = 0;
+    double scalar_sum = 0, batch_sum = 0;
     for (std::size_t q : qs) {
       const double m = mean_mpps([&] { return QMax<>(q, gamma); }, values);
+      const double mb =
+          mean_mpps_batched([&] { return QMax<>(q, gamma); }, values);
+      scalar_sum += m;
+      batch_sum += mb;
       const double vs_h = m / heap_mpps[q];
       const double vs_s = m / skip_mpps[q];
       min_h = std::min(min_h, vs_h);
@@ -60,8 +78,12 @@ int main() {
       min_s = std::min(min_s, vs_s);
       max_s = std::max(max_s, vs_s);
     }
-    std::printf("%7.1f%% %13.2fx %13.2fx %13.2fx %13.2fx\n", gamma * 100,
-                min_h, max_h, min_s, max_s);
+    const double scalar_mean = scalar_sum / static_cast<double>(qs.size());
+    const double batch_mean = batch_sum / static_cast<double>(qs.size());
+    std::printf(
+        "%7.1f%% %13.2fx %13.2fx %13.2fx %13.2fx %12.2f %12.2f %9.2fx\n",
+        gamma * 100, min_h, max_h, min_s, max_s, scalar_mean, batch_mean,
+        batch_mean / scalar_mean);
   }
   write_metrics_blob();
   return 0;

@@ -32,6 +32,33 @@ struct ReservoirMonitor {
   }
 };
 
+/// Batch twin of ReservoirMonitor: receives whole ring drains (the span
+/// consumer shape of forward_monitored) and hands them to the reservoir's
+/// add_batch, so rejected records never pay a per-record call. Ids/values
+/// are staged in fixed arrays sized to the drain burst.
+template <typename R>
+struct BatchReservoirMonitor {
+  /// Matches the 64-record pop_batch buffer of the drain loops.
+  static constexpr std::size_t kMaxDrain = 64;
+  R reservoir;
+  void operator()(std::span<const vswitch::MonitorRecord> recs) {
+    using Id = decltype(typename R::EntryT{}.id);
+    Id ids[kMaxDrain];
+    double vals[kMaxDrain];
+    std::size_t i = 0;
+    while (i < recs.size()) {
+      const std::size_t m = std::min(recs.size() - i, kMaxDrain);
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto& rec = recs[i + j];
+        ids[j] = rec.src_ip;
+        vals[j] = common::to_unit_interval(common::hash64(rec.packet_id));
+      }
+      reservoir.add_batch(ids, vals, m);
+      i += m;
+    }
+  }
+};
+
 /// Run the switch over `packets` with monitoring via `consumer`; returns
 /// delivered Mpps against the given line rate. When a metrics blob was
 /// requested, the run's datapath counters, ring gauges, and monitor-side

@@ -7,6 +7,7 @@
 
 // Core reservoirs (the paper's contribution).
 #include "qmax/amortized_qmax.hpp"   // O(1) amortized variant
+#include "qmax/batch.hpp"            // batched-ingestion prefilter machinery
 #include "qmax/concepts.hpp"         // the Reservoir concept
 #include "qmax/entry.hpp"            // item types
 #include "qmax/exp_decay.hpp"        // Section 5: exponential decay

@@ -14,13 +14,16 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
@@ -37,18 +40,27 @@ class AmortizedQMax {
   struct Telemetry {
     telemetry::Counter maintenance_passes;  // full nth_element sweeps
     telemetry::Counter evicted_items;
+    telemetry::Counter batch_calls;         // add_batch invocations
+    telemetry::Counter prefilter_rejected;  // items screened out by Ψ
     telemetry::Histogram evict_batch_size;  // items dropped per sweep
+    telemetry::Histogram batch_survivors;   // prefilter survivors per batch
 
     template <typename Fn>
     void visit(Fn&& fn) const {
       fn("maintenance_passes", maintenance_passes);
       fn("evicted_items", evicted_items);
+      fn("batch_calls", batch_calls);
+      fn("prefilter_rejected", prefilter_rejected);
       fn("evict_batch_size", evict_batch_size);
+      fn("batch_survivors", batch_survivors);
     }
     void reset() noexcept {
       maintenance_passes.reset();
       evicted_items.reset();
+      batch_calls.reset();
+      prefilter_rejected.reset();
       evict_batch_size.reset();
+      batch_survivors.reset();
     }
   };
 
@@ -63,6 +75,7 @@ class AmortizedQMax {
     if (extra == 0) extra = 1;
     arr_.reserve(q_ + extra);
     cap_ = q_ + extra;
+    batch_idx_.resize(batch::kPrefilterBlock);
   }
 
   bool add(Id id, Value val) {
@@ -72,6 +85,78 @@ class AmortizedQMax {
     arr_.push_back(EntryT{id, val});
     if (arr_.size() == cap_) maintain();
     return true;
+  }
+
+  /// Report `n` items at once; equivalent to n in-order add() calls (same
+  /// Ψ trajectory, maintenance points, and query results). A whole-lane
+  /// reject test against the live Ψ skips 16-item runs of rejected items
+  /// with a few packed compares; surviving lanes run the exact scalar
+  /// admission code, so maintenance passes fire at exactly the scalar
+  /// points (array full) and a Ψ raised mid-lane tightens the remaining
+  /// tests immediately. Returns the number of admitted items.
+  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
+    processed_ += n;
+    tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t screened = 0;
+    std::size_t j = 0;
+    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
+      if (!batch::lane_any_above(vals + j, psi_)) {
+        screened += batch::kScreenLane;
+        continue;
+      }
+      // Walk the set bits; re-test each candidate against the live Ψ (a
+      // maintenance pass mid-lane raises it).
+      unsigned mask = batch::lane_mask_above(vals + j, psi_);
+      while (mask != 0) {
+        const std::size_t k =
+            j + static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        if (!(vals[k] > psi_)) continue;
+        arr_.push_back(EntryT{ids[k], vals[k]});
+        if (arr_.size() == cap_) maintain();
+        ++admitted_in_batch;
+      }
+    }
+    for (; j < n; ++j) {
+      if (!(vals[j] > psi_)) {
+        ++screened;
+        continue;
+      }
+      arr_.push_back(EntryT{ids[j], vals[j]});
+      if (arr_.size() == cap_) maintain();
+      ++admitted_in_batch;
+    }
+    admitted_ += admitted_in_batch;
+    tm_.prefilter_rejected.inc(screened);
+    tm_.batch_survivors.record(n - screened);
+    return admitted_in_batch;
+  }
+
+  /// add_batch over pre-paired entries.
+  std::size_t add_batch(std::span<const EntryT> items) {
+    const std::size_t n = items.size();
+    processed_ += n;
+    tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t survivors_in_batch = 0;
+    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+      const std::size_t survivors = batch::prefilter_above(
+          items.data() + base, m, psi_, batch_idx_.data());
+      tm_.prefilter_rejected.inc(m - survivors);
+      survivors_in_batch += survivors;
+      for (std::size_t s = 0; s < survivors; ++s) {
+        const EntryT& e = items[base + batch_idx_[s]];
+        if (!(e.val > psi_)) continue;
+        arr_.push_back(e);
+        if (arr_.size() == cap_) maintain();
+        ++admitted_in_batch;
+      }
+    }
+    admitted_ += admitted_in_batch;
+    tm_.batch_survivors.record(survivors_in_batch);
+    return admitted_in_batch;
   }
 
   [[nodiscard]] Value threshold() const noexcept { return psi_; }
@@ -146,6 +231,7 @@ class AmortizedQMax {
   [[no_unique_address]] Telemetry tm_;
   EvictCallback on_evict_;
   mutable std::vector<EntryT> scratch_;
+  std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
 };
 
 }  // namespace qmax

@@ -1,0 +1,156 @@
+// Shared machinery for the batched ingestion fast path.
+//
+// The common case on the q-MAX hot path is *rejection*: once Ψ converges,
+// almost every stream item falls below the admission bound and does
+// nothing. The scalar add() still pays a full call per item; add_batch()
+// instead screens a whole block of values against Ψ with one branch-free
+// comparison each, compacting the indices of the survivors, and only the
+// survivors enter the (scalar-identical) admission path. Because Ψ is
+// monotone non-decreasing, an item at or below the snapshot Ψ can never be
+// admitted later — prefiltering against a snapshot is lossless — and a
+// NaN or kEmptyValue item compares false against any Ψ, so the same single
+// comparison also screens inadmissible values.
+//
+// Every reservoir screens in blocks of kPrefilterBlock items so the index
+// scratch stays cache-resident and Ψ raises inside a batch (iteration
+// endings, maintenance passes) tighten the filter for the next block.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "qmax/entry.hpp"
+
+namespace qmax::batch {
+
+/// Prefilter scan-block length. 512 × 4-byte indices = one 2 KiB scratch
+/// per reservoir; long batches are screened block by block.
+inline constexpr std::size_t kPrefilterBlock = 512;
+
+/// Mini-block width of the two-level screen below. 16 values is wide
+/// enough to amortize the vector reduction, narrow enough that a lone
+/// survivor only drags 15 neighbours through the compaction loop.
+inline constexpr std::size_t kScreenLane = 16;
+
+/// True if any of the kScreenLane values starting at `v` exceeds `psi`.
+/// This is the reservoirs' whole-lane reject test: when it returns false
+/// the lane is skipped without any per-item work. An any-above (OR)
+/// reduction — unlike a max reduction — is NaN-safe: a NaN compares
+/// false, contributes nothing, and can never mask a real survivor the way
+/// max(NaN, x) = NaN would.
+template <typename Value>
+[[nodiscard]] inline bool lane_any_above(const Value* v, Value psi) noexcept {
+  int hits = 0;
+  for (std::size_t k = 0; k < kScreenLane; ++k) {
+    hits += static_cast<int>(v[k] > psi);
+  }
+  return hits != 0;
+}
+
+#if defined(__SSE2__)
+/// SSE2 overload for the double-keyed reservoirs (the baseline vector ISA
+/// on x86-64, so no -march flags needed): 8 packed compares OR-folded into
+/// one mask test, no stores, no branches until the single skip decision.
+[[nodiscard]] inline bool lane_any_above(const double* v,
+                                         double psi) noexcept {
+  const __m128d bound = _mm_set1_pd(psi);
+  __m128d any = _mm_cmpgt_pd(_mm_loadu_pd(v), bound);
+  for (std::size_t k = 2; k < kScreenLane; k += 2) {
+    any = _mm_or_pd(any, _mm_cmpgt_pd(_mm_loadu_pd(v + k), bound));
+  }
+  return _mm_movemask_pd(any) != 0;
+}
+#endif
+
+/// Bit k set iff v[k] > psi, over one kScreenLane-wide lane. Used on lanes
+/// the reject test let through: the caller walks the set bits instead of
+/// re-scanning all 16 items. NaN and kEmptyValue compare false.
+template <typename Value>
+[[nodiscard]] inline unsigned lane_mask_above(const Value* v,
+                                              Value psi) noexcept {
+  unsigned mask = 0;
+  for (std::size_t k = 0; k < kScreenLane; ++k) {
+    mask |= static_cast<unsigned>(v[k] > psi) << k;
+  }
+  return mask;
+}
+
+#if defined(__SSE2__)
+[[nodiscard]] inline unsigned lane_mask_above(const double* v,
+                                              double psi) noexcept {
+  const __m128d bound = _mm_set1_pd(psi);
+  unsigned mask = 0;
+  for (std::size_t k = 0; k < kScreenLane; k += 2) {
+    mask |= static_cast<unsigned>(_mm_movemask_pd(
+                _mm_cmpgt_pd(_mm_loadu_pd(v + k), bound)))
+            << k;
+  }
+  return mask;
+}
+#endif
+
+/// Compact the indices of the values in v[0, n) strictly above `psi` into
+/// idx (caller provides ≥ n slots). Two-level screen: the vector lane
+/// reject test decides per 16-value mini-block whether anything survives;
+/// only mini-blocks with a survivor run the scalar index compaction. On
+/// the rejection-dominated steady state nearly every mini-block is
+/// screened out by the vector pass alone. NaN and kEmptyValue compare
+/// false and are rejected. Returns the number of survivors.
+template <typename Value>
+[[nodiscard]] inline std::size_t prefilter_above(const Value* v,
+                                                 std::size_t n, Value psi,
+                                                 std::uint32_t* idx) noexcept {
+  std::size_t out = 0;
+  std::size_t j = 0;
+  for (; j + kScreenLane <= n; j += kScreenLane) {
+    if (!lane_any_above(v + j, psi)) continue;
+    for (std::size_t k = 0; k < kScreenLane; ++k) {
+      idx[out] = static_cast<std::uint32_t>(j + k);
+      out += static_cast<std::size_t>(v[j + k] > psi);
+    }
+  }
+  for (; j < n; ++j) {
+    idx[out] = static_cast<std::uint32_t>(j);
+    out += static_cast<std::size_t>(v[j] > psi);
+  }
+  return out;
+}
+
+/// Entry-array variant (strided loads) for the span-of-EntryT overloads.
+template <typename Id, typename Value>
+[[nodiscard]] inline std::size_t prefilter_above(
+    const BasicEntry<Id, Value>* e, std::size_t n, Value psi,
+    std::uint32_t* idx) noexcept {
+  std::size_t out = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    idx[out] = static_cast<std::uint32_t>(j);
+    out += static_cast<std::size_t>(e[j].val > psi);
+  }
+  return out;
+}
+
+/// Feed (ids, vals)[0, n) to any reservoir: the batched path when the type
+/// provides one, a scalar loop otherwise. Lets the window containers hold
+/// arbitrary Reservoir types (baselines included) behind one call.
+/// Returns the number of items the reservoir reported as admitted.
+template <typename R, typename Id, typename Value>
+inline std::size_t add_batch_or_each(R& r, const Id* ids, const Value* vals,
+                                     std::size_t n) {
+  if constexpr (requires { { r.add_batch(ids, vals, n) } -> std::convertible_to<std::size_t>; }) {
+    return r.add_batch(ids, vals, n);
+  } else {
+    std::size_t admitted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      admitted += static_cast<std::size_t>(r.add(ids[i], vals[i]));
+    }
+    return admitted;
+  }
+}
+
+}  // namespace qmax::batch

@@ -28,4 +28,18 @@ concept Reservoir = requires(R r, const R cr,
   r.reset();
 };
 
+/// A Reservoir with the batched ingestion fast path: add_batch() must be
+/// equivalent to in-order scalar add() calls (same admission decisions and
+/// query results) and returns the number of admitted items. Callers that
+/// cannot require this use batch::add_batch_or_each, which falls back to a
+/// scalar loop for plain Reservoirs (the heap/skiplist baselines).
+template <typename R>
+concept BatchReservoir =
+    Reservoir<R> &&
+    requires(R r, const typename R::EntryT* entries, std::size_t n) {
+      {
+        r.add_batch(&entries->id, &entries->val, n)
+      } -> std::convertible_to<std::size_t>;
+    };
+
 }  // namespace qmax

@@ -14,11 +14,13 @@
 // with per-key score aggregation.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
 
@@ -37,6 +39,8 @@ class ExpDecayQMax {
     if (!(decay > 0.0) || decay > 1.0) {
       throw std::invalid_argument("ExpDecayQMax: decay must be in (0, 1]");
     }
+    batch_ids_.resize(batch::kPrefilterBlock);
+    batch_keys_.resize(batch::kPrefilterBlock);
   }
 
   /// Report an item with positive weight `val`; arrival index is the
@@ -47,6 +51,33 @@ class ExpDecayQMax {
     if (!(val > 0.0) || !std::isfinite(val)) return false;
     const double keyed = std::log(val) - static_cast<double>(i) * log_c_;
     return inner_.add(id, keyed);
+  }
+
+  /// Report `n` items at once; equivalent to n in-order add() calls —
+  /// every item consumes one time index whether or not its weight is a
+  /// positive finite number (invalid ones are dropped before the inner
+  /// reservoir, exactly like the scalar early-return). The log-domain keys
+  /// of each run are computed up front with the item's absolute arrival
+  /// index (the per-run decay shift), then the run rides the inner
+  /// reservoir's Ψ-prefiltered batch path. Returns the admitted count.
+  std::size_t add_batch(const Id* ids, const double* vals, std::size_t n) {
+    std::size_t admitted = 0;
+    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+      std::size_t valid = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double v = vals[base + j];
+        if (!(v > 0.0) || !std::isfinite(v)) continue;
+        batch_ids_[valid] = ids[base + j];
+        batch_keys_[valid] =
+            std::log(v) - static_cast<double>(t_ + base + j) * log_c_;
+        ++valid;
+      }
+      admitted += inner_.add_batch(batch_ids_.data(), batch_keys_.data(),
+                                   valid);
+    }
+    t_ += n;
+    return admitted;
   }
 
   /// The q items with the largest decayed weight val·c^(t−i), reported
@@ -87,6 +118,8 @@ class ExpDecayQMax {
   QMax<Id, double> inner_;
   double log_c_;
   std::uint64_t t_ = 0;
+  std::vector<Id> batch_ids_;        // valid-item compaction scratch
+  std::vector<double> batch_keys_;   // log-domain keys per run
 };
 
 }  // namespace qmax

@@ -25,15 +25,18 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "common/select.hpp"
+#include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
@@ -64,23 +67,32 @@ class QMax {
     telemetry::Counter psi_updates;        // admission-bound raises
     telemetry::Counter evict_batches;      // iteration-end batch evictions
     telemetry::Counter evicted_items;      // items evicted across batches
+    telemetry::Counter batch_calls;        // add_batch invocations
+    telemetry::Counter prefilter_rejected; // items screened out by the Ψ prefilter
     telemetry::Histogram steps_per_add;    // selection ops per admitted item
     telemetry::Histogram evict_batch_size; // live items per batch eviction
+    telemetry::Histogram batch_survivors;  // prefilter survivors per add_batch
 
     template <typename Fn>
     void visit(Fn&& fn) const {
       fn("psi_updates", psi_updates);
       fn("evict_batches", evict_batches);
       fn("evicted_items", evicted_items);
+      fn("batch_calls", batch_calls);
+      fn("prefilter_rejected", prefilter_rejected);
       fn("steps_per_add", steps_per_add);
       fn("evict_batch_size", evict_batch_size);
+      fn("batch_survivors", batch_survivors);
     }
     void reset() noexcept {
       psi_updates.reset();
       evict_batches.reset();
       evicted_items.reset();
+      batch_calls.reset();
+      prefilter_rejected.reset();
       steps_per_add.reset();
       evict_batch_size.reset();
+      batch_survivors.reset();
     }
   };
 
@@ -100,6 +112,10 @@ class QMax {
     step_budget_ = static_cast<std::uint64_t>(opts.budget_factor) *
                        ((m + g_ - 1) / g_) +
                    opts.budget_factor;
+    // Working buffers are sized up front so neither the first query() nor
+    // the first add_batch() allocates mid-measurement.
+    scratch_.reserve(arr_.size());
+    batch_idx_.resize(batch::kPrefilterBlock);
     begin_iteration();
   }
 
@@ -110,14 +126,88 @@ class QMax {
     ++processed_;
     if (!is_admissible_value(val) || !(val > psi_)) return false;
     ++admitted_;
-    arr_[scratch_base() + steps_] = EntryT{id, val};
-    ++live_;
-    ++steps_;
-    const std::uint64_t ops_before = select_.total_ops();
-    advance_selection();
-    tm_.steps_per_add.record(select_.total_ops() - ops_before);
-    if (steps_ == g_) end_iteration();
+    admit(id, val);
     return true;
+  }
+
+  /// Report `n` stream items at once. Equivalent to calling add() on each
+  /// (ids[i], vals[i]) pair in order — same Ψ trajectory, same eviction
+  /// points and callback sequence, same query results — but items at or
+  /// below Ψ (the common case once the bound converges) cost one
+  /// branch-free comparison instead of a full call. Returns the number of
+  /// admitted items.
+  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
+    processed_ += n;
+    tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t screened = 0;
+    std::size_t j = 0;
+    // Whole-lane reject test against the *live* Ψ: when every value in a
+    // 16-item lane is at or below the bound, the lane is skipped with a
+    // handful of packed compares and no per-item work. A surviving lane
+    // runs the exact scalar admission code item by item, so iteration
+    // endings and batch evictions fire inside admit() at exactly
+    // steps == g — the same points as n scalar add() calls — and a Ψ
+    // raised mid-lane immediately tightens both the item test and the
+    // next lane's screen. (The screen is conservative the other way too:
+    // Ψ is monotone, so a lane rejected against the current bound could
+    // never have produced an admission later in the batch.)
+    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
+      if (!batch::lane_any_above(vals + j, psi_)) {
+        screened += batch::kScreenLane;
+        continue;
+      }
+      // Walk only the set bits. The mask is a snapshot, so each candidate
+      // is re-tested against the live Ψ before admission (a Ψ raised by a
+      // mid-lane admit rejects exactly the items scalar add() would).
+      unsigned mask = batch::lane_mask_above(vals + j, psi_);
+      while (mask != 0) {
+        const std::size_t k =
+            j + static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        if (!(vals[k] > psi_)) continue;
+        admit(ids[k], vals[k]);
+        ++admitted_in_batch;
+      }
+    }
+    for (; j < n; ++j) {
+      if (!(vals[j] > psi_)) {
+        ++screened;
+        continue;
+      }
+      admit(ids[j], vals[j]);
+      ++admitted_in_batch;
+    }
+    admitted_ += admitted_in_batch;
+    tm_.prefilter_rejected.inc(screened);
+    tm_.batch_survivors.record(n - screened);
+    return admitted_in_batch;
+  }
+
+  /// add_batch over pre-paired entries (the window variants feed their
+  /// merge buffers through this overload).
+  std::size_t add_batch(std::span<const EntryT> items) {
+    const std::size_t n = items.size();
+    processed_ += n;
+    tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t survivors_in_batch = 0;
+    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+      const std::size_t survivors = batch::prefilter_above(
+          items.data() + base, m, psi_, batch_idx_.data());
+      tm_.prefilter_rejected.inc(m - survivors);
+      survivors_in_batch += survivors;
+      for (std::size_t s = 0; s < survivors; ++s) {
+        const EntryT& e = items[base + batch_idx_[s]];
+        if (!(e.val > psi_)) continue;
+        admit(e.id, e.val);
+        ++admitted_in_batch;
+      }
+    }
+    admitted_ += admitted_in_batch;
+    tm_.batch_survivors.record(survivors_in_batch);
+    return admitted_in_batch;
   }
 
   /// The current admission bound: a monotone lower bound on the q-th
@@ -198,6 +288,19 @@ class QMax {
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
+  /// The post-admission-test path shared by add() and add_batch(): scratch
+  /// write, bounded selection advance, iteration end at g steps. The
+  /// caller has already established val > Ψ.
+  void admit(Id id, Value val) {
+    arr_[scratch_base() + steps_] = EntryT{id, val};
+    ++live_;
+    ++steps_;
+    const std::uint64_t ops_before = select_.total_ops();
+    advance_selection();
+    tm_.steps_per_add.record(select_.total_ops() - ops_before);
+    if (steps_ == g_) end_iteration();
+  }
+
   [[nodiscard]] std::size_t scratch_base() const noexcept {
     return parity_a_ ? q_ + g_ : 0;
   }
@@ -239,15 +342,27 @@ class QMax {
       select_.finish();
     }
     apply_new_threshold();
-    // Evict the g candidates that lost the selection.
+    // Evict the g candidates that lost the selection. The callback test is
+    // hoisted out of the loop: the common, callback-free configuration
+    // pays no per-slot branch.
     const std::size_t lose_lo = parity_a_ ? 0 : g_ + q_;
     std::size_t batch = 0;
-    for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
-      if (arr_[i].val != kEmptyValue<Value>) {
-        if (on_evict_) on_evict_(arr_[i]);
-        --live_;
-        ++batch;
-        arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
+    if (on_evict_) {
+      for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
+        if (arr_[i].val != kEmptyValue<Value>) {
+          on_evict_(arr_[i]);
+          --live_;
+          ++batch;
+          arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
+        }
+      }
+    } else {
+      for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
+        if (arr_[i].val != kEmptyValue<Value>) {
+          --live_;
+          ++batch;
+          arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
+        }
       }
     }
     tm_.evict_batches.inc();
@@ -280,7 +395,8 @@ class QMax {
   [[no_unique_address]] Telemetry tm_;
   common::IncrementalSelect<EntryT, ValueOrder<Id, Value>> select_;
   EvictCallback on_evict_;
-  mutable std::vector<EntryT> scratch_;  // query gather buffer (reused)
+  mutable std::vector<EntryT> scratch_;   // query gather buffer (reused)
+  std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
 };
 
 }  // namespace qmax

@@ -29,13 +29,16 @@
 // so the merge is exact for the covered window.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
@@ -135,12 +138,43 @@ class SlackQMax {
     return admitted;
   }
 
+  /// Report `n` items at once; equivalent to n in-order add() calls. Runs
+  /// are cut at finest-block boundaries — every level's block size is a
+  /// multiple of the finest block size, so within a run each level's
+  /// current block (and the lazy-mode flush point) is fixed, and block
+  /// recycling / front flushes happen at exactly the scalar points. Each
+  /// run is handed to the per-block reservoirs' own batched path (or a
+  /// scalar loop for reservoir types without one).
+  void add_batch(const Id* ids, const Value* vals, std::size_t n) {
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t to_boundary = fine_block_ - (t_ % fine_block_);
+      const std::size_t run = static_cast<std::size_t>(
+          std::min<std::uint64_t>(n - i, to_boundary));
+      if (opts_.lazy) {
+        batch::add_batch_or_each(front_[0], ids + i, vals + i, run);
+        t_ += run;
+        if (t_ % fine_block_ == 0) flush_front();
+      } else {
+        for (Level& lv : levels_) {
+          batch::add_batch_or_each(current_block(lv), ids + i, vals + i, run);
+        }
+        t_ += run;
+      }
+      i += run;
+    }
+  }
+
   /// Append the q largest items over a window of size last_coverage(),
   /// which is guaranteed to be in [min(t, W(1−τ)), W].
   void query_into(std::vector<EntryT>& out) const {
     R result = factory_();
     collect_into(merge_buf_, /*clear=*/true);
-    for (const EntryT& item : merge_buf_) result.add(item.id, item.val);
+    if constexpr (requires(R& r) { r.add_batch(std::span<const EntryT>{}); }) {
+      result.add_batch(std::span<const EntryT>(merge_buf_));
+    } else {
+      for (const EntryT& item : merge_buf_) result.add(item.id, item.val);
+    }
     result.query_into(out);
   }
 
@@ -279,7 +313,11 @@ class SlackQMax {
         lv.start[slot] = bstart;
         tm_.block_resets.inc();
       }
-      for (const EntryT& e : flush_buf_) lv.blocks[slot].add(e.id, e.val);
+      if constexpr (requires(R& r) { r.add_batch(std::span<const EntryT>{}); }) {
+        lv.blocks[slot].add_batch(std::span<const EntryT>(flush_buf_));
+      } else {
+        for (const EntryT& e : flush_buf_) lv.blocks[slot].add(e.id, e.val);
+      }
     }
     front_[0].reset();
   }

@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
@@ -70,13 +72,55 @@ class TimeSlackQMax {
     return blocks_[slot].add(id, val);
   }
 
+  /// Report `n` timestamped items at once (timestamps non-decreasing);
+  /// equivalent to n in-order add() calls. Runs are cut where the
+  /// timestamp crosses a block boundary, so slot recycling happens at
+  /// exactly the scalar points; each run is handed to its block's batched
+  /// path. Returns the number of admitted items. Like the scalar path, a
+  /// backwards timestamp throws after the preceding items were ingested.
+  std::size_t add_batch(const Id* ids, const Value* vals,
+                        const std::uint64_t* timestamps, std::size_t n) {
+    std::size_t admitted = 0;
+    std::size_t i = 0;
+    while (i < n) {
+      if (timestamps[i] < now_) {
+        throw std::invalid_argument(
+            "TimeSlackQMax: timestamps must not go back");
+      }
+      const std::uint64_t idx = timestamps[i] / block_span_;
+      // Extend the run while timestamps stay monotone inside this block;
+      // a non-monotone timestamp ends the run and throws on re-entry.
+      std::size_t j = i + 1;
+      while (j < n && timestamps[j] >= timestamps[j - 1] &&
+             timestamps[j] / block_span_ == idx) {
+        ++j;
+      }
+      now_ = timestamps[j - 1];
+      const std::uint64_t slot = idx % num_blocks_;
+      const std::uint64_t bstart = idx * block_span_;
+      if (start_[slot] != bstart) {
+        blocks_[slot].reset();
+        start_[slot] = bstart;
+      }
+      processed_ += j - i;
+      admitted += batch::add_batch_or_each(blocks_[slot], ids + i, vals + i,
+                                           j - i);
+      i = j;
+    }
+    return admitted;
+  }
+
   /// Append the q largest items over a window ending at the newest
   /// timestamp and spanning last_coverage() ∈ [W(1−τ), W] time units
   /// (less while the stream is younger than that).
   void query_into(std::vector<EntryT>& out) const {
     R result = factory_();
     collect(merge_buf_, /*clear=*/true);
-    for (const EntryT& e : merge_buf_) result.add(e.id, e.val);
+    if constexpr (requires(R& r) { r.add_batch(std::span<const EntryT>{}); }) {
+      result.add_batch(std::span<const EntryT>(merge_buf_));
+    } else {
+      for (const EntryT& e : merge_buf_) result.add(e.id, e.val);
+    }
     result.query_into(out);
   }
 

@@ -94,7 +94,10 @@ class MultiPmdSwitch {
   }
 
   /// Forward with a single measurement consumer draining every PMD's
-  /// ring. `consume(pmd_index, record)` is called on the monitor thread.
+  /// ring. Called on the monitor thread, either per record as
+  /// `consume(pmd_index, record)` or — when the consumer accepts a span —
+  /// per drained batch as `consume(pmd_index, span)`, feeding whole ring
+  /// pops to a reservoir's add_batch.
   template <typename Consumer>
   MultiRunResult forward_monitored(std::span<const trace::PacketRecord> packets,
                                    Consumer&& consume) {
@@ -141,7 +144,12 @@ class MultiPmdSwitch {
         for (std::size_t i = 0; i < n; ++i) {
           const std::size_t occ = rings[i]->size_approx();
           const std::size_t got = rings[i]->pop_batch(batch, 64);
-          for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+          if constexpr (std::is_invocable_v<Consumer&, std::size_t,
+                                            std::span<const MonitorRecord>>) {
+            if (got > 0) consume(i, std::span<const MonitorRecord>(batch, got));
+          } else {
+            for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+          }
           if (got > 0) {
             ++drain_batches[i];
             drained[i] += got;

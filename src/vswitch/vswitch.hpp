@@ -20,6 +20,7 @@
 #include <functional>
 #include <span>
 #include <thread>
+#include <type_traits>
 
 #include "common/timer.hpp"
 #include "telemetry/counters.hpp"
@@ -147,7 +148,11 @@ class VirtualSwitch {
 
   /// Forward with a measurement consumer attached. The consumer runs on
   /// its own thread (the paper's separate user-space measurement program)
-  /// and receives every MonitorRecord in order.
+  /// and receives every MonitorRecord in order. Two consumer shapes are
+  /// accepted: `consume(const MonitorRecord&)` per record, or
+  /// `consume(std::span<const MonitorRecord>)` per drained batch — the
+  /// batch shape hands each ring pop straight to a reservoir's add_batch
+  /// without a per-record call.
   template <typename Consumer>
   RunResult forward_monitored(std::span<const trace::PacketRecord> packets,
                               Consumer&& consume) {
@@ -181,7 +186,12 @@ class VirtualSwitch {
         mon_tm_.drain_batch.record(n);
         mon_tm_.ring_occupancy.record(occ);
         mon_tm_.records_drained.inc(n);
-        for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
+        if constexpr (std::is_invocable_v<Consumer&,
+                                          std::span<const MonitorRecord>>) {
+          consume(std::span<const MonitorRecord>(batch, n));
+        } else {
+          for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
+        }
       }
     });
 
