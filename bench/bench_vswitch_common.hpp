@@ -13,6 +13,12 @@
 
 #include "bench_common.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+
 #include "baselines/heap_qmax.hpp"
 #include "baselines/skiplist_qmax.hpp"
 #include "common/hash.hpp"
@@ -21,14 +27,35 @@
 
 namespace qmax::bench {
 
-/// Feed MonitorRecords into any reservoir: id = src ip, value = a uniform
-/// hash of the packet id (the admission distribution the theory assumes).
+/// The value a MonitorRecord contributes to the reservoir: a uniform hash
+/// of the packet id (the admission distribution the theory assumes).
+/// Shared between the monitors below and the switch's shed-below-Ψ
+/// filter (SwitchConfig::record_value), which must agree exactly.
+inline double monitor_record_value(const vswitch::MonitorRecord& rec) {
+  return common::to_unit_interval(common::hash64(rec.packet_id));
+}
+
+/// Feed MonitorRecords into any reservoir: id = src ip, value =
+/// monitor_record_value. Reservoirs exposing threshold() publish their
+/// admission bound into `psi_pub` after every record, so a kGraceful
+/// switch can shed records the reservoir was guaranteed to reject.
 template <typename R>
 struct ReservoirMonitor {
   R reservoir;
+  std::atomic<double> psi_pub{std::numeric_limits<double>::lowest()};
+
   void operator()(const vswitch::MonitorRecord& rec) {
-    reservoir.add(rec.src_ip,
-                  common::to_unit_interval(common::hash64(rec.packet_id)));
+    reservoir.add(rec.src_ip, monitor_record_value(rec));
+    publish_psi();
+  }
+  void publish_psi() {
+    if constexpr (requires { reservoir.threshold(); }) {
+      psi_pub.store(static_cast<double>(reservoir.threshold()),
+                    std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] const std::atomic<double>* psi_source() const noexcept {
+    return &psi_pub;
   }
 };
 
@@ -41,6 +68,8 @@ struct BatchReservoirMonitor {
   /// Matches the 64-record pop_batch buffer of the drain loops.
   static constexpr std::size_t kMaxDrain = 64;
   R reservoir;
+  std::atomic<double> psi_pub{std::numeric_limits<double>::lowest()};
+
   void operator()(std::span<const vswitch::MonitorRecord> recs) {
     using Id = decltype(typename R::EntryT{}.id);
     Id ids[kMaxDrain];
@@ -51,28 +80,69 @@ struct BatchReservoirMonitor {
       for (std::size_t j = 0; j < m; ++j) {
         const auto& rec = recs[i + j];
         ids[j] = rec.src_ip;
-        vals[j] = common::to_unit_interval(common::hash64(rec.packet_id));
+        vals[j] = monitor_record_value(rec);
       }
       reservoir.add_batch(ids, vals, m);
       i += m;
     }
+    if constexpr (requires { reservoir.threshold(); }) {
+      psi_pub.store(static_cast<double>(reservoir.threshold()),
+                    std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] const std::atomic<double>* psi_source() const noexcept {
+    return &psi_pub;
   }
 };
 
+/// Overload policy for the switch benches, selectable without a rebuild:
+/// QMAX_OVS_POLICY=backpressure (default) | drop | graceful.
+inline vswitch::OverloadPolicy switch_policy() {
+  const char* e = std::getenv("QMAX_OVS_POLICY");
+  if (e != nullptr) {
+    if (std::strcmp(e, "drop") == 0) return vswitch::OverloadPolicy::kDrop;
+    if (std::strcmp(e, "graceful") == 0) {
+      return vswitch::OverloadPolicy::kGraceful;
+    }
+  }
+  return vswitch::OverloadPolicy::kBackpressure;
+}
+
+namespace detail {
+template <typename T>
+T& unwrap_consumer(T& c) {
+  return c;
+}
+template <typename T>
+T& unwrap_consumer(std::reference_wrapper<T> c) {
+  return c.get();
+}
+}  // namespace detail
+
 /// Run the switch over `packets` with monitoring via `consumer`; returns
-/// delivered Mpps against the given line rate. When a metrics blob was
-/// requested, the run's datapath counters, ring gauges, and monitor-side
-/// instruments are snapshotted under the current case.
+/// delivered Mpps against the given line rate. Under QMAX_OVS_POLICY=
+/// graceful, a consumer that publishes its admission bound (psi_source())
+/// is wired into the switch's shed-below-Ψ filter. When a metrics blob
+/// was requested, the run's datapath counters, ring gauges, and
+/// monitor-side instruments are snapshotted under the current case.
 template <typename Consumer>
 double run_switch_monitored(const std::vector<trace::PacketRecord>& packets,
                             double line_rate_pps, Consumer&& consumer) {
-  vswitch::VirtualSwitch sw;
+  vswitch::SwitchConfig cfg;
+  cfg.policy = switch_policy();
+  auto& target = detail::unwrap_consumer(consumer);
+  if constexpr (requires { target.psi_source(); }) {
+    cfg.psi_source = target.psi_source();
+    cfg.record_value = &monitor_record_value;
+  }
+  vswitch::VirtualSwitch sw(cfg);
   sw.install_default_rules();
   const auto res = sw.forward_monitored(packets, consumer);
   if (metrics_enabled() && !current_case().empty()) {
     CaseMetrics cm;
     cm.bind("switch", res);
     cm.bind("monitor", sw.monitor_telemetry());
+    cm.bind("overload", sw.overload_telemetry());
     cm.commit(current_case());
   }
   return res.delivered_mpps(line_rate_pps);

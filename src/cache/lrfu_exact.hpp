@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/validate.hpp"
+
 namespace qmax::cache {
 
 template <typename Key = std::uint64_t>
@@ -30,11 +32,9 @@ class LrfuCache {
   /// @param capacity number of cached entries (q)
   /// @param decay    the recency/frequency knob c ∈ (0, 1]
   LrfuCache(std::size_t capacity, double decay)
-      : capacity_(capacity), log_c_(std::log(decay)) {
-    if (capacity == 0) throw std::invalid_argument("LrfuCache: capacity 0");
-    if (!(decay > 0.0) || decay > 1.0) {
-      throw std::invalid_argument("LrfuCache: decay must be in (0, 1]");
-    }
+      : capacity_(common::validate_q(capacity, "LrfuCache")),
+        log_c_(std::log(
+            common::validate_unit_interval(decay, "LrfuCache", "decay"))) {
     heap_.reserve(capacity);
     index_.reserve(capacity * 2);
   }

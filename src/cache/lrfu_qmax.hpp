@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/validate.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
 
@@ -63,14 +64,10 @@ class LrfuQMaxCache {
     }
   };
   LrfuQMaxCache(std::size_t q, double decay, double gamma = 0.25)
-      : q_(q), log_c_(std::log(decay)) {
-    if (q == 0) throw std::invalid_argument("LrfuQMaxCache: q must be positive");
-    if (!(decay > 0.0) || decay > 1.0) {
-      throw std::invalid_argument("LrfuQMaxCache: decay must be in (0, 1]");
-    }
-    if (!(gamma > 0.0)) {
-      throw std::invalid_argument("LrfuQMaxCache: gamma must be positive");
-    }
+      : q_(common::validate_q(q, "LrfuQMaxCache")),
+        log_c_(std::log(
+            common::validate_unit_interval(decay, "LrfuQMaxCache", "decay"))) {
+    common::validate_gamma(gamma, "LrfuQMaxCache");
     gamma_ = gamma;
     std::size_t extra =
         static_cast<std::size_t>(std::ceil(static_cast<double>(q) * gamma));

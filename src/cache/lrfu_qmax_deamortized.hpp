@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/select.hpp"
+#include "common/validate.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
@@ -73,18 +74,10 @@ class LrfuQMaxCacheDeamortized {
   };
   LrfuQMaxCacheDeamortized(std::size_t q, double decay, double gamma = 0.25,
                            unsigned budget_factor = 4)
-      : q_(q), log_c_(std::log(decay)) {
-    if (q == 0) {
-      throw std::invalid_argument("LrfuQMaxCacheDeamortized: q must be > 0");
-    }
-    if (!(decay > 0.0) || decay > 1.0) {
-      throw std::invalid_argument(
-          "LrfuQMaxCacheDeamortized: decay must be in (0, 1]");
-    }
-    if (!(gamma > 0.0)) {
-      throw std::invalid_argument(
-          "LrfuQMaxCacheDeamortized: gamma must be positive");
-    }
+      : q_(common::validate_q(q, "LrfuQMaxCacheDeamortized")),
+        log_c_(std::log(common::validate_unit_interval(
+            decay, "LrfuQMaxCacheDeamortized", "decay"))) {
+    common::validate_gamma(gamma, "LrfuQMaxCacheDeamortized");
     gamma_ = gamma;
     g_ = static_cast<std::size_t>(
         std::ceil(static_cast<double>(q) * gamma / 2.0));

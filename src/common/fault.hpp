@@ -1,0 +1,218 @@
+// Compile-time-gated fault-injection harness.
+//
+// Mirrors the QMAX_TELEMETRY pattern (telemetry/counters.hpp): every hook
+// has two definitions selected by the QMAX_FAULT_INJECTION gate (the CMake
+// option of the same name, default OFF):
+//
+//   OFF — every hook is an inline no-op (should_fire() is a constant
+//         false, the value/clock transforms are identity functions), so
+//         the injection points compile away entirely from the hot paths.
+//   ON  — a process-wide engine holds one schedule per named site;
+//         should_fire() counts the hit and decides deterministically.
+//
+// Sites are the failure modes the robustness layer exercises:
+//
+//   kAllocFail     — constructors / query-path reservoir creation throw
+//                    std::bad_alloc (QMax, AmortizedQMax, SpscRing, and
+//                    everything built from them: SlackQMax blocks,
+//                    TimeSlackQMax blocks, merge reservoirs).
+//   kRingPopStall  — SpscRing consumer reads report "empty", simulating a
+//                    stalled measurement program (drives the vswitch
+//                    watchdog/degradation ladder).
+//   kValueCorrupt  — reservoir add() sees a corrupted value (NaN for
+//                    floating-point domains, the reserved empty value for
+//                    integral ones); the admission guards must reject it.
+//   kClockSkew     — TimeSlackQMax timestamps jump backwards by the
+//                    schedule's magnitude; the monotonicity guard must
+//                    throw without corrupting state.
+//
+// Schedules are deterministic: a site fires either periodically
+// ((hit + phase) % period == 0) or pseudo-randomly from a seeded hash of
+// the hit index — both reproducible run-to-run, both bounded by `limit`.
+// Hit counters are relaxed atomics so multi-threaded sites (the ring) stay
+// race-free under TSan; arming/disarming is intended to happen while the
+// structures under test are quiescent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#if defined(QMAX_FAULT_INJECTION) && QMAX_FAULT_INJECTION
+#define QMAX_FAULT_ENABLED 1
+#else
+#define QMAX_FAULT_ENABLED 0
+#endif
+
+#if QMAX_FAULT_ENABLED
+#include <array>
+#include <atomic>
+#include <new>
+#include <type_traits>
+#endif
+
+namespace qmax::fault {
+
+inline constexpr bool kEnabled = QMAX_FAULT_ENABLED == 1;
+
+/// Named injection points. Each site has an independent schedule and
+/// independent hit/fire counters.
+enum class Site : unsigned {
+  kAllocFail = 0,
+  kRingPopStall,
+  kValueCorrupt,
+  kClockSkew,
+};
+inline constexpr unsigned kSiteCount = 4;
+
+/// When a site fires. Exactly one of `period` / `probability` is used:
+/// period > 0 selects the modular schedule, otherwise `probability` with
+/// the seeded hash. Both are pure functions of the hit index, so a run is
+/// reproducible from (seed, schedule) alone.
+struct Schedule {
+  std::uint64_t period = 0;       // fire when (hit + phase) % period == 0
+  std::uint64_t phase = 0;
+  double probability = 0.0;       // used when period == 0
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t magnitude = 1'000;  // clock-skew displacement (time units)
+};
+
+#if QMAX_FAULT_ENABLED
+
+namespace detail {
+
+/// splitmix64 finalizer: uncorrelated 64-bit hash of the hit index.
+[[nodiscard]] inline std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct SiteState {
+  std::atomic<std::uint64_t> hits{0};   // counted only while armed
+  std::atomic<std::uint64_t> fires{0};
+  std::atomic<bool> armed{false};
+  Schedule sched{};  // written only while disarmed
+};
+
+inline std::array<SiteState, kSiteCount>& sites() {
+  static std::array<SiteState, kSiteCount> s;
+  return s;
+}
+
+[[nodiscard]] inline SiteState& site(Site s) noexcept {
+  return sites()[static_cast<unsigned>(s)];
+}
+
+}  // namespace detail
+
+/// Install a schedule and start firing. Call while the structures under
+/// test are quiescent (no concurrent should_fire on this site).
+inline void arm(Site s, const Schedule& sched) {
+  auto& st = detail::site(s);
+  st.armed.store(false, std::memory_order_release);
+  st.sched = sched;
+  st.hits.store(0, std::memory_order_relaxed);
+  st.fires.store(0, std::memory_order_relaxed);
+  st.armed.store(true, std::memory_order_release);
+}
+
+inline void disarm(Site s) {
+  detail::site(s).armed.store(false, std::memory_order_release);
+}
+
+inline void disarm_all() {
+  for (unsigned i = 0; i < kSiteCount; ++i) disarm(static_cast<Site>(i));
+}
+
+/// Hits observed at this site since it was armed.
+[[nodiscard]] inline std::uint64_t hits(Site s) noexcept {
+  return detail::site(s).hits.load(std::memory_order_relaxed);
+}
+
+/// Faults actually injected at this site since it was armed.
+[[nodiscard]] inline std::uint64_t fires(Site s) noexcept {
+  return detail::site(s).fires.load(std::memory_order_relaxed);
+}
+
+/// One injection-point evaluation: counts the hit and decides from the
+/// schedule. The limit check is best-effort under concurrency (a burst of
+/// racing hits may overshoot by the thread count) — fine for testing.
+[[nodiscard]] inline bool should_fire(Site s) noexcept {
+  auto& st = detail::site(s);
+  if (!st.armed.load(std::memory_order_acquire)) return false;
+  const std::uint64_t h = st.hits.fetch_add(1, std::memory_order_relaxed);
+  const Schedule& sc = st.sched;
+  bool fire;
+  if (sc.period > 0) {
+    fire = (h + sc.phase) % sc.period == 0;
+  } else if (sc.probability > 0.0) {
+    const double u =
+        static_cast<double>(detail::mix(sc.seed ^ h) >> 11) * 0x1.0p-53;
+    fire = u < sc.probability;
+  } else {
+    fire = false;
+  }
+  if (!fire) return false;
+  if (st.fires.load(std::memory_order_relaxed) >= sc.limit) return false;
+  st.fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+/// Allocation-failure injection point: throws std::bad_alloc when armed
+/// and due, exactly what a failed `new` would raise mid-construction.
+inline void maybe_fail_alloc() {
+  if (should_fire(Site::kAllocFail)) throw std::bad_alloc{};
+}
+
+/// Value-corruption injection point: returns a poisoned value (NaN for
+/// floating-point domains, the reserved lowest/empty value for integral
+/// ones) when due, the input unchanged otherwise.
+template <typename Value>
+[[nodiscard]] inline Value corrupt_value(Value v) noexcept {
+  if (!should_fire(Site::kValueCorrupt)) return v;
+  if constexpr (std::is_floating_point_v<Value>) {
+    return std::numeric_limits<Value>::quiet_NaN();
+  } else {
+    return std::numeric_limits<Value>::lowest();
+  }
+}
+
+/// Clock-skew injection point: pulls the timestamp backwards by the
+/// schedule's magnitude (saturating at 0) when due.
+[[nodiscard]] inline std::uint64_t skew_clock(std::uint64_t ts) noexcept {
+  auto& st = detail::site(Site::kClockSkew);
+  if (!should_fire(Site::kClockSkew)) return ts;
+  const std::uint64_t m = st.sched.magnitude;
+  return ts >= m ? ts - m : 0;
+}
+
+/// Ring-pop stall injection point: true means "pretend the ring is empty".
+[[nodiscard]] inline bool pop_stalled() noexcept {
+  return should_fire(Site::kRingPopStall);
+}
+
+#else  // QMAX_FAULT_ENABLED
+
+// Disabled: every hook is an inline no-op the optimizer deletes.
+
+inline void arm(Site, const Schedule&) noexcept {}
+inline void disarm(Site) noexcept {}
+inline void disarm_all() noexcept {}
+[[nodiscard]] inline std::uint64_t hits(Site) noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t fires(Site) noexcept { return 0; }
+[[nodiscard]] inline bool should_fire(Site) noexcept { return false; }
+inline void maybe_fail_alloc() noexcept {}
+template <typename Value>
+[[nodiscard]] inline Value corrupt_value(Value v) noexcept {
+  return v;
+}
+[[nodiscard]] inline std::uint64_t skew_clock(std::uint64_t ts) noexcept {
+  return ts;
+}
+[[nodiscard]] inline bool pop_stalled() noexcept { return false; }
+
+#endif  // QMAX_FAULT_ENABLED
+
+}  // namespace qmax::fault

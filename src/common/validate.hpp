@@ -1,0 +1,61 @@
+// Shared constructor-parameter validation.
+//
+// Every reservoir, cache, and ring in the library rejects nonsensical
+// parameters at construction with std::invalid_argument rather than
+// producing a structure that fails subtly later (q = 0 → empty selection
+// ranges, gamma ≤ 0 → zero scratch, decay outside (0, 1] → log-domain
+// NaNs, capacity 0 → index-mask underflow). The helpers centralize the
+// checks and the message format; validators return their input so they
+// compose inside member initializer lists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qmax::common {
+
+namespace detail {
+[[noreturn]] inline void fail_arg(const char* who, const std::string& what) {
+  throw std::invalid_argument(std::string(who) + ": " + what);
+}
+}  // namespace detail
+
+/// q must be positive (a reservoir of 0 items has no q-th largest).
+inline std::size_t validate_q(std::size_t q, const char* who) {
+  if (q == 0) detail::fail_arg(who, "q must be positive");
+  return q;
+}
+
+/// gamma must be positive (it sizes the scratch/slack region; the paper
+/// sweeps 2.5%..200% but any positive value is well-defined).
+inline double validate_gamma(double gamma, const char* who) {
+  if (!(gamma > 0.0)) detail::fail_arg(who, "gamma must be positive");
+  return gamma;
+}
+
+/// The (q, gamma) pair every q-MAX-backed structure takes.
+inline void validate_q_gamma(std::size_t q, double gamma, const char* who) {
+  validate_q(q, who);
+  validate_gamma(gamma, who);
+}
+
+/// Parameters constrained to the half-open unit interval (0, 1]: the
+/// slack fraction tau, the decay constant c. NaN fails the first compare.
+inline double validate_unit_interval(double x, const char* who,
+                                     const char* what) {
+  if (!(x > 0.0) || x > 1.0) {
+    detail::fail_arg(who, std::string(what) + " must be in (0, 1]");
+  }
+  return x;
+}
+
+/// Counts that must be non-zero (window sizes, level counts, capacities).
+inline std::uint64_t validate_nonzero(std::uint64_t v, const char* who,
+                                      const char* what) {
+  if (v == 0) detail::fail_arg(who, std::string(what) + " must be positive");
+  return v;
+}
+
+}  // namespace qmax::common

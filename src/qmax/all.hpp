@@ -11,6 +11,7 @@
 #include "qmax/concepts.hpp"         // the Reservoir concept
 #include "qmax/entry.hpp"            // item types
 #include "qmax/exp_decay.hpp"        // Section 5: exponential decay
+#include "qmax/invariants.hpp"       // white-box invariant audits
 #include "qmax/qmax.hpp"             // Algorithm 1: deamortized q-MAX
 #include "qmax/qmin.hpp"             // minimum-oriented adapter
 #include "qmax/sliding.hpp"          // Algorithms 3/4 + Theorem 7 windows
@@ -46,3 +47,7 @@
 #include "trace/packet.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_io.hpp"
+
+// Robustness: fault injection (gated) and argument validation.
+#include "common/fault.hpp"
+#include "common/validate.hpp"

@@ -23,12 +23,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
 
 namespace qmax {
+
+struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
 
 template <typename Id = std::uint64_t, typename Value = double>
 class AmortizedQMax {
@@ -65,10 +69,8 @@ class AmortizedQMax {
   };
 
   explicit AmortizedQMax(std::size_t q, double gamma = 0.25) : q_(q) {
-    if (q == 0) throw std::invalid_argument("AmortizedQMax: q must be positive");
-    if (!(gamma > 0.0)) {
-      throw std::invalid_argument("AmortizedQMax: gamma must be positive");
-    }
+    common::validate_q_gamma(q, gamma, "AmortizedQMax");
+    fault::maybe_fail_alloc();
     gamma_ = gamma;
     std::size_t extra = static_cast<std::size_t>(
         std::ceil(static_cast<double>(q) * gamma));
@@ -80,6 +82,7 @@ class AmortizedQMax {
 
   bool add(Id id, Value val) {
     ++processed_;
+    val = fault::corrupt_value(val);
     if (!is_admissible_value(val) || !(val > psi_)) return false;
     ++admitted_;
     arr_.push_back(EntryT{id, val});
@@ -206,6 +209,8 @@ class AmortizedQMax {
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
+  friend struct InvariantAccess;
+
   void maintain() {
     std::nth_element(arr_.begin(),
                      arr_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),

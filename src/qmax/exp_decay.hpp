@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
@@ -35,10 +37,9 @@ class ExpDecayQMax {
   /// @param decay  the aging parameter c ∈ (0, 1]
   /// @param gamma  q-MAX space-time tradeoff
   ExpDecayQMax(std::size_t q, double decay, double gamma = 0.25)
-      : inner_(q, gamma), log_c_(std::log(decay)) {
-    if (!(decay > 0.0) || decay > 1.0) {
-      throw std::invalid_argument("ExpDecayQMax: decay must be in (0, 1]");
-    }
+      : inner_((common::validate_q_gamma(q, gamma, "ExpDecayQMax"), q), gamma),
+        log_c_(std::log(
+            common::validate_unit_interval(decay, "ExpDecayQMax", "decay"))) {
     batch_ids_.resize(batch::kPrefilterBlock);
     batch_keys_.resize(batch::kPrefilterBlock);
   }
@@ -48,6 +49,7 @@ class ExpDecayQMax {
   /// heaviest (or val is not a positive finite number).
   bool add(Id id, double val) {
     const std::uint64_t i = t_++;
+    val = fault::corrupt_value(val);
     if (!(val > 0.0) || !std::isfinite(val)) return false;
     const double keyed = std::log(val) - static_cast<double>(i) * log_c_;
     return inner_.add(id, keyed);

@@ -35,13 +35,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/select.hpp"
+#include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
 
 namespace qmax {
+
+struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
 
 template <typename Id = std::uint64_t, typename Value = double>
 class QMax {
@@ -100,10 +104,8 @@ class QMax {
 
   explicit QMax(std::size_t q, Options opts = {})
       : q_(q), opts_(opts) {
-    if (q == 0) throw std::invalid_argument("QMax: q must be positive");
-    if (!(opts.gamma > 0.0)) {
-      throw std::invalid_argument("QMax: gamma must be positive");
-    }
+    common::validate_q_gamma(q, opts.gamma, "QMax");
+    fault::maybe_fail_alloc();
     g_ = static_cast<std::size_t>(
         std::ceil(static_cast<double>(q) * opts.gamma / 2.0));
     if (g_ == 0) g_ = 1;
@@ -124,6 +126,7 @@ class QMax {
   /// or its value is inadmissible — NaN / the reserved empty value).
   bool add(Id id, Value val) {
     ++processed_;
+    val = fault::corrupt_value(val);
     if (!is_admissible_value(val) || !(val > psi_)) return false;
     ++admitted_;
     admit(id, val);
@@ -288,6 +291,8 @@ class QMax {
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
+  friend struct InvariantAccess;
+
   /// The post-admission-test path shared by add() and add_batch(): scratch
   /// write, bounded selection advance, iteration end at g steps. The
   /// caller has already established val > Ψ.

@@ -38,6 +38,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
@@ -82,13 +84,9 @@ class SlackQMax {
   SlackQMax(std::uint64_t window, double tau, Factory factory,
             Options opts = {})
       : window_(window), tau_(tau), opts_(opts), factory_(std::move(factory)) {
-    if (window == 0) throw std::invalid_argument("SlackQMax: window empty");
-    if (!(tau > 0.0) || tau > 1.0) {
-      throw std::invalid_argument("SlackQMax: tau must be in (0, 1]");
-    }
-    if (opts_.levels == 0) {
-      throw std::invalid_argument("SlackQMax: need at least one level");
-    }
+    common::validate_nonzero(window, "SlackQMax", "window");
+    common::validate_unit_interval(tau, "SlackQMax", "tau");
+    common::validate_nonzero(opts_.levels, "SlackQMax", "levels");
     if (!factory_) throw std::invalid_argument("SlackQMax: null factory");
 
     const double wt = static_cast<double>(window) * tau;
@@ -277,6 +275,8 @@ class SlackQMax {
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
  private:
+  friend struct InvariantAccess;
+
   static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
 
   struct Level {

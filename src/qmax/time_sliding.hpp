@@ -21,6 +21,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
@@ -40,10 +42,8 @@ class TimeSlackQMax {
   /// @param tau     slack fraction in (0, 1]
   TimeSlackQMax(std::uint64_t window, double tau, Factory factory)
       : window_(window), tau_(tau), factory_(std::move(factory)) {
-    if (window == 0) throw std::invalid_argument("TimeSlackQMax: window 0");
-    if (!(tau > 0.0) || tau > 1.0) {
-      throw std::invalid_argument("TimeSlackQMax: tau must be in (0, 1]");
-    }
+    common::validate_nonzero(window, "TimeSlackQMax", "window");
+    common::validate_unit_interval(tau, "TimeSlackQMax", "tau");
     if (!factory_) throw std::invalid_argument("TimeSlackQMax: null factory");
     const double span = static_cast<double>(window) * tau;
     block_span_ = span < 1.0 ? 1 : static_cast<std::uint64_t>(span);
@@ -57,6 +57,7 @@ class TimeSlackQMax {
 
   /// Report an item observed at `timestamp` (non-decreasing).
   bool add(Id id, Value val, std::uint64_t timestamp) {
+    timestamp = fault::skew_clock(timestamp);
     if (timestamp < now_) {
       throw std::invalid_argument("TimeSlackQMax: timestamps must not go back");
     }
@@ -163,6 +164,8 @@ class TimeSlackQMax {
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
 
  private:
+  friend struct InvariantAccess;
+
   static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
 
   void collect(std::vector<EntryT>& out, bool clear) const {

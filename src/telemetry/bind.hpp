@@ -128,6 +128,24 @@ void bind_metrics_into(Registry& reg, const std::string& prefix, const T& obj,
     counter("records_dropped",
             [&obj] { return static_cast<std::uint64_t>(obj.records_dropped); });
   }
+  if constexpr (requires { { obj.shed_probabilistic } -> std::convertible_to<std::uint64_t>; }) {
+    counter("shed_probabilistic",
+            [&obj] { return static_cast<std::uint64_t>(obj.shed_probabilistic); });
+  }
+  if constexpr (requires { { obj.shed_below_psi } -> std::convertible_to<std::uint64_t>; }) {
+    counter("shed_below_psi",
+            [&obj] { return static_cast<std::uint64_t>(obj.shed_below_psi); });
+  }
+  if constexpr (requires { { obj.watchdog_trips } -> std::convertible_to<std::uint64_t>; }) {
+    counter("watchdog_trips",
+            [&obj] { return static_cast<std::uint64_t>(obj.watchdog_trips); });
+    counter("watchdog_drops",
+            [&obj] { return static_cast<std::uint64_t>(obj.watchdog_drops); });
+    counter("degrade_transitions",
+            [&obj] { return static_cast<std::uint64_t>(obj.degrade_transitions); });
+    gauge("degrade_peak",
+          [&obj] { return static_cast<double>(obj.degrade_peak); });
+  }
   if constexpr (requires { { obj.records_drained } -> std::convertible_to<std::uint64_t>; }) {
     counter("records_drained",
             [&obj] { return static_cast<std::uint64_t>(obj.records_drained); });

@@ -68,6 +68,30 @@ struct MultiRunResult {
     }
     return m;
   }
+  /// kGraceful aggregates across PMDs (0 under the other policies).
+  [[nodiscard]] std::uint64_t total_shed_probabilistic() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.shed_probabilistic;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_shed_below_psi() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.shed_below_psi;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_watchdog_trips() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& r : per_pmd) n += r.watchdog_trips;
+    return n;
+  }
+  /// Highest ladder level any PMD reached (DegradeState numeric value).
+  [[nodiscard]] std::uint8_t degrade_peak() const noexcept {
+    std::uint8_t m = 0;
+    for (const auto& r : per_pmd) {
+      if (r.degrade_peak > m) m = r.degrade_peak;
+    }
+    return m;
+  }
 };
 
 class MultiPmdSwitch {

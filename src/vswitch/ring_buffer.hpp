@@ -21,14 +21,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/fault.hpp"
+#include "common/validate.hpp"
+
 namespace qmax::vswitch {
 
 template <typename T>
 class SpscRing {
  public:
   /// Capacity is rounded up to a power of two (index masking beats modulo
-  /// on the per-packet fast path).
+  /// on the per-packet fast path). A zero capacity is rejected rather than
+  /// silently promoted: it always signals a configuration bug upstream.
   explicit SpscRing(std::size_t min_capacity) {
+    common::validate_nonzero(min_capacity, "SpscRing", "capacity");
+    fault::maybe_fail_alloc();
     std::size_t cap = 64;
     while (cap < min_capacity) cap <<= 1;
     buf_.resize(cap);
@@ -53,6 +59,7 @@ class SpscRing {
 
   /// Consumer side. Returns false when empty.
   bool try_pop(T& out) noexcept {
+    if (fault::pop_stalled()) return false;  // injected consumer stall
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_cache_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -65,6 +72,7 @@ class SpscRing {
 
   /// Consumer side: pop up to `max` items into `out`; returns count.
   std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    if (fault::pop_stalled()) return 0;  // injected consumer stall
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     std::uint64_t head = head_cache_;
     if (tail == head) {
@@ -87,6 +95,15 @@ class SpscRing {
   }
 
   [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  /// Producer-side view of the consumer's progress: the monotone count of
+  /// items popped so far. The vswitch watchdog samples this while waiting
+  /// on a full ring — a cursor frozen across a spin budget means the
+  /// consumer is stalled (not merely slow) and the PMD must degrade
+  /// instead of blocking forever.
+  [[nodiscard]] std::uint64_t consumer_cursor() const noexcept {
+    return tail_.load(std::memory_order_acquire);
+  }
 
  private:
   // Fixed 64B (x86-64/common ARM line size) rather than

@@ -36,6 +36,14 @@ void VirtualSwitch::pmd_loop(std::span<const trace::PacketRecord> packets,
   const std::size_t burst = cfg_.rx_burst;
   std::size_t i = 0;
   const std::size_t n = packets.size();
+  GracefulCtx g;
+  if (ring != nullptr && cfg_.policy == OverloadPolicy::kGraceful) {
+    double frac = cfg_.deescalate_watermark;
+    if (!(frac >= 0.0)) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    g.watermark_slots = static_cast<std::size_t>(
+        frac * static_cast<double>(ring->capacity()));
+  }
   while (i < n) {
     const std::size_t end = i + burst < n ? i + burst : n;
     for (; i < end; ++i) {
@@ -58,17 +66,165 @@ void VirtualSwitch::pmd_loop(std::span<const trace::PacketRecord> packets,
 
       if (ring != nullptr) {
         const MonitorRecord rec{p.tuple.src_ip, p.length, p.packet_id};
-        if (!ring->try_push(rec)) {
-          if (cfg_.backpressure) {
-            ++res.backpressure_stalls;
-            do {
-              // Share the core with the monitor thread while waiting.
-              std::this_thread::yield();
-            } while (!ring->try_push(rec));
-          } else {
-            ++res.records_dropped;
-          }
+        switch (cfg_.policy) {
+          case OverloadPolicy::kBackpressure:
+            if (!ring->try_push(rec)) {
+              ++res.backpressure_stalls;
+              do {
+                // Share the core with the monitor thread while waiting.
+                std::this_thread::yield();
+              } while (!ring->try_push(rec));
+            }
+            break;
+          case OverloadPolicy::kDrop:
+            if (!ring->try_push(rec)) ++res.records_dropped;
+            break;
+          case OverloadPolicy::kGraceful:
+            graceful_enqueue(rec, *ring, g, res);
+            break;
         }
+      }
+    }
+  }
+}
+
+void VirtualSwitch::escalate(GracefulCtx& g, DegradeState to,
+                             RunResult& res) noexcept {
+  g.state = to;
+  const auto level = static_cast<std::uint8_t>(to);
+  if (level > res.degrade_peak) res.degrade_peak = level;
+  ++res.degrade_transitions;
+  switch (to) {
+    case DegradeState::kBackpressure:
+      ovl_tm_.enter_backpressure.inc();
+      break;
+    case DegradeState::kShedProbabilistic:
+      ovl_tm_.enter_shed_probabilistic.inc();
+      break;
+    case DegradeState::kShedBelowPsi:
+      ovl_tm_.enter_shed_below_psi.inc();
+      break;
+    case DegradeState::kWatchdog:
+      ovl_tm_.enter_watchdog.inc();
+      break;
+    case DegradeState::kNormal:
+      break;  // never an escalation target
+  }
+}
+
+void VirtualSwitch::maybe_deescalate(const SpscRing<MonitorRecord>& ring,
+                                     GracefulCtx& g) noexcept {
+  // The watchdog state is exited only by observed consumer progress
+  // (graceful_enqueue's cursor probe), never by occupancy: a stalled
+  // consumer leaves the ring full, but a drained-then-stalled one must
+  // not bounce back to shedding-free states.
+  if (g.state == DegradeState::kNormal || g.state == DegradeState::kWatchdog) {
+    return;
+  }
+  if (ring.size_approx() < g.watermark_slots) {
+    g.state = static_cast<DegradeState>(static_cast<std::uint8_t>(g.state) - 1);
+    // Skip the probabilistic state on the way down when it is disabled.
+    if (g.state == DegradeState::kShedProbabilistic && cfg_.shed_period == 0) {
+      g.state = DegradeState::kBackpressure;
+    }
+    ovl_tm_.deescalations.inc();
+  }
+}
+
+bool VirtualSwitch::shed_below_psi(const MonitorRecord& rec) const noexcept {
+  if (cfg_.psi_source == nullptr || cfg_.record_value == nullptr) {
+    return true;  // no Ψ plumbing: behave as plain load shedding
+  }
+  const double psi = cfg_.psi_source->load(std::memory_order_relaxed);
+  // Shed exactly the records the reservoir would reject (admission
+  // requires value > Ψ; the published Ψ lags the live one from below).
+  return !(cfg_.record_value(rec) > psi);
+}
+
+void VirtualSwitch::graceful_enqueue(const MonitorRecord& rec,
+                                     SpscRing<MonitorRecord>& ring,
+                                     GracefulCtx& g, RunResult& res) {
+  maybe_deescalate(ring, g);
+
+  if (g.state == DegradeState::kWatchdog) {
+    const std::uint64_t cur = ring.consumer_cursor();
+    if (cur == g.last_cursor) {
+      // Consumer still frozen: never block behind it.
+      ++res.records_dropped;
+      ++res.watchdog_drops;
+      ovl_tm_.watchdog_records.inc();
+      return;
+    }
+    // Consumer moved again: resume one level down and fall through.
+    g.last_cursor = cur;
+    g.frozen_spins = 0;
+    g.state = DegradeState::kShedBelowPsi;
+    ovl_tm_.deescalations.inc();
+  }
+  if (g.state == DegradeState::kShedBelowPsi && shed_below_psi(rec)) {
+    ++res.records_dropped;
+    ++res.shed_below_psi;
+    ovl_tm_.shed_records.inc();
+    return;
+  }
+  if (g.state == DegradeState::kShedProbabilistic && cfg_.shed_period != 0 &&
+      ++g.tick % cfg_.shed_period == 0) {
+    ++res.records_dropped;
+    ++res.shed_probabilistic;
+    ovl_tm_.shed_records.inc();
+    return;
+  }
+
+  bool stalled = false;
+  std::size_t spins = 0;
+  while (!ring.try_push(rec)) {
+    if (!stalled) {
+      stalled = true;
+      ++res.backpressure_stalls;
+      if (g.state == DegradeState::kNormal) {
+        escalate(g, DegradeState::kBackpressure, res);
+      }
+    }
+    std::this_thread::yield();
+
+    // Watchdog probe: a cursor frozen across the whole spin budget means
+    // the consumer is stalled, not slow — drop rather than deadlock.
+    const std::uint64_t cur = ring.consumer_cursor();
+    if (cur != g.last_cursor) {
+      g.last_cursor = cur;
+      g.frozen_spins = 0;
+    } else if (++g.frozen_spins >= cfg_.watchdog_spin_budget) {
+      ++res.watchdog_trips;
+      escalate(g, DegradeState::kWatchdog, res);
+      g.frozen_spins = 0;
+      ++res.records_dropped;
+      ++res.watchdog_drops;
+      ovl_tm_.watchdog_records.inc();
+      return;
+    }
+
+    if (++spins >= cfg_.bp_spin_budget &&
+        g.state < DegradeState::kShedBelowPsi) {
+      spins = 0;
+      const DegradeState next =
+          (g.state < DegradeState::kShedProbabilistic && cfg_.shed_period != 0)
+              ? DegradeState::kShedProbabilistic
+              : DegradeState::kShedBelowPsi;
+      escalate(g, next, res);
+      // The freshly entered shed state applies to this record too —
+      // otherwise a full ring with a slow consumer still blocks on it.
+      if (g.state == DegradeState::kShedBelowPsi && shed_below_psi(rec)) {
+        ++res.records_dropped;
+        ++res.shed_below_psi;
+        ovl_tm_.shed_records.inc();
+        return;
+      }
+      if (g.state == DegradeState::kShedProbabilistic &&
+          ++g.tick % cfg_.shed_period == 0) {
+        ++res.records_dropped;
+        ++res.shed_probabilistic;
+        ovl_tm_.shed_records.inc();
+        return;
       }
     }
   }

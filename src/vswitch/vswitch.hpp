@@ -40,14 +40,72 @@ struct MonitorRecord {
   std::uint64_t packet_id = 0;
 };
 
+/// How the PMD reacts when the monitor ring is full.
+enum class OverloadPolicy : std::uint8_t {
+  /// Spin until a slot frees (the regime the paper evaluates: a slow
+  /// measurement consumer visibly drags the switch below line rate).
+  /// A consumer that stops entirely blocks the PMD forever.
+  kBackpressure,
+  /// Drop the record immediately: lossy monitoring, full switch rate.
+  kDrop,
+  /// Escalating ladder: bounded backpressure → probabilistic shedding →
+  /// shed-below-Ψ, with a watchdog that detects a *stalled* (not merely
+  /// slow) consumer and degrades instead of deadlocking.
+  kGraceful,
+};
+
+/// Position on the kGraceful degradation ladder, ordered by severity.
+enum class DegradeState : std::uint8_t {
+  kNormal = 0,             // ring accepting, no overload observed
+  kBackpressure = 1,       // bounded spinning on a full ring
+  kShedProbabilistic = 2,  // every shed_period-th record is dropped
+  kShedBelowPsi = 3,       // records at or below the published Ψ dropped
+  kWatchdog = 4,           // consumer stalled: drop until it moves again
+};
+
+[[nodiscard]] constexpr const char* to_string(DegradeState s) noexcept {
+  switch (s) {
+    case DegradeState::kNormal: return "normal";
+    case DegradeState::kBackpressure: return "backpressure";
+    case DegradeState::kShedProbabilistic: return "shed_probabilistic";
+    case DegradeState::kShedBelowPsi: return "shed_below_psi";
+    case DegradeState::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
 struct SwitchConfig {
   double linerate_gbps = 10.0;
   std::size_t ring_capacity = 1 << 16;
-  /// true: PMD spins when the monitor ring is full (throttles the switch,
-  /// the regime the paper evaluates). false: records are dropped instead.
-  bool backpressure = true;
+  /// Full-ring policy; see OverloadPolicy. kBackpressure matches the
+  /// paper's observed behaviour and stays the default.
+  OverloadPolicy policy = OverloadPolicy::kBackpressure;
   std::size_t emc_entries = 8192;
   std::size_t rx_burst = 32;
+
+  // --- kGraceful tuning (ignored by the other policies) ---
+  /// Yields spent waiting at one ladder level before escalating.
+  std::size_t bp_spin_budget = 256;
+  /// Probabilistic state: every shed_period-th record is shed. 0 skips
+  /// the state entirely (escalate straight to shed-below-Ψ), which keeps
+  /// the retained top-q exactly equal to the backpressure run's.
+  std::uint64_t shed_period = 8;
+  /// De-escalate one level whenever ring occupancy falls below this
+  /// fraction of capacity.
+  double deescalate_watermark = 0.5;
+  /// Consecutive yields with a frozen consumer cursor before the
+  /// watchdog declares the consumer stalled (uses the ring's
+  /// consumer_cursor() as the liveness probe).
+  std::size_t watchdog_spin_budget = 100'000;
+  /// Shed-below-Ψ inputs: the measurement consumer publishes its
+  /// admission bound into *psi_source and record_value maps a record to
+  /// the value the reservoir would see. Ψ is monotone, so the published
+  /// (lagging) bound is always ≤ the live one and a shed record is one
+  /// the reservoir was guaranteed to reject — the retained top q is
+  /// unchanged. When either is unset the state sheds every record
+  /// (plain load shedding).
+  const std::atomic<double>* psi_source = nullptr;
+  double (*record_value)(const MonitorRecord&) = nullptr;
 };
 
 /// Gated instruments for the measurement-consumer side (no-ops unless
@@ -74,12 +132,53 @@ struct MonitorTelemetry {
   }
 };
 
+/// Gated instruments for the kGraceful overload ladder (no-ops unless
+/// -DQMAX_TELEMETRY=ON); written from the PMD thread only.
+struct OverloadTelemetry {
+  telemetry::Counter enter_backpressure;       // upward moves into each state
+  telemetry::Counter enter_shed_probabilistic;
+  telemetry::Counter enter_shed_below_psi;
+  telemetry::Counter enter_watchdog;
+  telemetry::Counter deescalations;            // downward moves (any level)
+  telemetry::Counter shed_records;             // probabilistic + below-Ψ
+  telemetry::Counter watchdog_records;         // dropped while stalled
+
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    fn("enter_backpressure", enter_backpressure);
+    fn("enter_shed_probabilistic", enter_shed_probabilistic);
+    fn("enter_shed_below_psi", enter_shed_below_psi);
+    fn("enter_watchdog", enter_watchdog);
+    fn("deescalations", deescalations);
+    fn("shed_records", shed_records);
+    fn("watchdog_records", watchdog_records);
+  }
+  void reset() noexcept {
+    enter_backpressure.reset();
+    enter_shed_probabilistic.reset();
+    enter_shed_below_psi.reset();
+    enter_watchdog.reset();
+    deescalations.reset();
+    shed_records.reset();
+    watchdog_records.reset();
+  }
+};
+
 struct RunResult {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   double seconds = 0.0;
+  /// Records not handed to the monitor, for any reason: kDrop-mode drops
+  /// plus every kGraceful shed/watchdog drop (the three counters below).
   std::uint64_t records_dropped = 0;
   std::uint64_t backpressure_stalls = 0;
+  // kGraceful breakdown of records_dropped, plus ladder movement.
+  std::uint64_t shed_probabilistic = 0;  // every-k shedding
+  std::uint64_t shed_below_psi = 0;      // Ψ-filtered shedding
+  std::uint64_t watchdog_drops = 0;      // dropped while consumer stalled
+  std::uint64_t watchdog_trips = 0;      // stall detections
+  std::uint64_t degrade_transitions = 0; // upward ladder moves
+  std::uint8_t degrade_peak = 0;         // highest DegradeState reached
   std::uint64_t forwarded = 0;
   std::uint64_t table_misses = 0;
   std::uint64_t upcalls = 0;
@@ -223,15 +322,41 @@ class VirtualSwitch {
   }
   void reset_monitor_telemetry() noexcept { mon_tm_.reset(); }
 
+  /// PMD-side overload-ladder instruments (kGraceful runs only).
+  [[nodiscard]] const OverloadTelemetry& overload_telemetry() const noexcept {
+    return ovl_tm_;
+  }
+  void reset_overload_telemetry() noexcept { ovl_tm_.reset(); }
+
  private:
+  /// Per-run state of the kGraceful ladder (one PMD loop owns one).
+  struct GracefulCtx {
+    DegradeState state = DegradeState::kNormal;
+    std::uint64_t tick = 0;          // probabilistic shed counter
+    std::uint64_t last_cursor = 0;   // consumer cursor at last progress
+    std::size_t frozen_spins = 0;    // yields since the cursor moved
+    std::size_t watermark_slots = 0; // de-escalation occupancy threshold
+  };
+
   /// The PMD poll loop. `ring == nullptr` disables monitoring.
   void pmd_loop(std::span<const trace::PacketRecord> packets,
                 SpscRing<MonitorRecord>* ring, RunResult& res);
+
+  /// kGraceful enqueue of one record: shed/drop decisions, bounded
+  /// spinning, ladder movement. Never blocks indefinitely.
+  void graceful_enqueue(const MonitorRecord& rec, SpscRing<MonitorRecord>& ring,
+                        GracefulCtx& g, RunResult& res);
+
+  void escalate(GracefulCtx& g, DegradeState to, RunResult& res) noexcept;
+  void maybe_deescalate(const SpscRing<MonitorRecord>& ring, GracefulCtx& g)
+      noexcept;
+  [[nodiscard]] bool shed_below_psi(const MonitorRecord& rec) const noexcept;
 
   SwitchConfig cfg_;
   FlowTable table_;
   UpcallHandler upcall_;
   [[no_unique_address]] MonitorTelemetry mon_tm_;
+  [[no_unique_address]] OverloadTelemetry ovl_tm_;
   std::uint64_t tx_counts_[256] = {};
 };
 

@@ -1,0 +1,243 @@
+// Fault-injection soak: long streams with faults firing, audited with
+// check_invariants() after every maintenance phase. Compiled into every
+// build; the injection tests GTEST_SKIP unless the binary was built with
+// -DQMAX_FAULT_INJECTION=ON (the CI sanitizer legs do).
+//
+// Soak length: 1M items by default, overridable via QMAX_SOAK_ITEMS
+// (CI's sanitizer legs slow each item ~10x, so they may shorten it).
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <stdexcept>
+
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/invariants.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+#include "qmax/time_sliding.hpp"
+#include "vswitch/ring_buffer.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::AuditResult;
+using qmax::check_invariants;
+using qmax::MonotoneAuditor;
+using qmax::QMax;
+using qmax::SlackQMax;
+using qmax::TimeSlackQMax;
+namespace fault = qmax::fault;
+
+std::uint64_t soak_items() {
+  if (const char* e = std::getenv("QMAX_SOAK_ITEMS")) {
+    const auto v = std::strtoull(e, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 1'000'000;
+}
+
+/// Disarm everything on scope exit so one test's schedule never leaks
+/// into the next (or into gtest's own allocations).
+struct FaultQuiesce {
+  ~FaultQuiesce() { fault::disarm_all(); }
+};
+
+TEST(FaultSoak, GateOffHooksAreInert) {
+  // Meaningful in both builds: with the gate off these are the compiled
+  // no-ops; with it on, disarmed sites must behave identically.
+  fault::disarm_all();
+  EXPECT_FALSE(fault::should_fire(fault::Site::kAllocFail));
+  EXPECT_FALSE(fault::pop_stalled());
+  EXPECT_EQ(fault::corrupt_value(3.5), 3.5);
+  EXPECT_EQ(fault::skew_clock(42u), 42u);
+  fault::maybe_fail_alloc();  // must not throw
+}
+
+TEST(FaultSoak, QMaxSurvivesValueCorruptionSoak) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+  const std::uint64_t items = soak_items();
+
+  QMax<std::uint64_t, double> r(64, 0.25);
+  const std::uint64_t g = (r.capacity() - r.q()) / 2;
+  ASSERT_GE(g, 1u);
+
+  // Corrupt roughly 1% of all adds for the whole stream; the admission
+  // guard must reject every poisoned value and the audits must stay
+  // clean at every maintenance boundary.
+  fault::arm(fault::Site::kValueCorrupt, {.period = 97});
+
+  MonotoneAuditor<QMax<std::uint64_t, double>> mono;
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::uint64_t phases = 0;
+  std::uint64_t last_phase = 0;
+  for (std::uint64_t i = 0; i < items; ++i) {
+    r.add(i, dist(rng));
+    // A maintenance phase completes every g admissions (one full
+    // scratch fill + eviction); audit whenever we cross one.
+    const std::uint64_t phase = r.admitted() / g;
+    if (phase != last_phase) {
+      last_phase = phase;
+      ++phases;
+      const AuditResult a = mono.observe(r);
+      ASSERT_TRUE(a.ok()) << "item " << i << ":\n" << a.to_string();
+    }
+  }
+  EXPECT_GT(phases, 10u) << "soak never reached the maintenance path";
+  EXPECT_GT(fault::fires(fault::Site::kValueCorrupt), items / 200)
+      << "corruption schedule never fired — soak is vacuous";
+  // Poisoned adds are counted as processed but never admitted.
+  EXPECT_EQ(r.processed(), items);
+  const AuditResult final_audit = mono.observe(r);
+  EXPECT_TRUE(final_audit.ok()) << final_audit.to_string();
+}
+
+TEST(FaultSoak, QMaxSurvivesAllocFailDuringQuery) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+
+  QMax<std::uint32_t, double> r(32, 0.5);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (std::uint32_t i = 0; i < 10'000; ++i) r.add(i, dist(rng));
+  ASSERT_TRUE(check_invariants(r).ok());
+
+  // Every allocation attempt fails: query() (which copies the top q out)
+  // must either succeed without allocating or propagate bad_alloc with
+  // the reservoir untouched — never corrupt state.
+  fault::arm(fault::Site::kAllocFail, {.period = 1});
+  std::uint64_t threw = 0;
+  for (int round = 0; round < 8; ++round) {
+    try {
+      const auto top = r.query();
+      EXPECT_LE(top.size(), r.q());
+    } catch (const std::bad_alloc&) {
+      ++threw;
+    }
+    const AuditResult a = check_invariants(r);
+    ASSERT_TRUE(a.ok()) << "round " << round << ":\n" << a.to_string();
+  }
+  fault::disarm(fault::Site::kAllocFail);
+
+  // Construction under allocation failure must throw cleanly too.
+  fault::arm(fault::Site::kAllocFail, {.period = 1});
+  EXPECT_THROW((QMax<std::uint32_t, double>(1024, 0.25)), std::bad_alloc);
+  fault::disarm(fault::Site::kAllocFail);
+
+  // And the survivor still works after the faults stop.
+  for (std::uint32_t i = 0; i < 1'000; ++i) r.add(i, dist(rng));
+  EXPECT_TRUE(check_invariants(r).ok());
+  (void)threw;  // how many rounds threw is schedule-dependent; any split is fine
+}
+
+TEST(FaultSoak, AmortizedSurvivesCorruptionAndAllocFail) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+  const std::uint64_t items = std::min<std::uint64_t>(soak_items(), 200'000);
+
+  AmortizedQMax<> r(64, 0.25);
+  fault::arm(fault::Site::kValueCorrupt, {.period = 89});
+  MonotoneAuditor<AmortizedQMax<>> mono;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::uint64_t last_admitted = 0;
+  for (std::uint64_t i = 0; i < items; ++i) {
+    r.add(static_cast<std::uint32_t>(i), dist(rng));
+    // Maintenance ran iff the live set shrank back to q.
+    if (r.admitted() != last_admitted && r.live_count() == r.q()) {
+      last_admitted = r.admitted();
+      const AuditResult a = mono.observe(r);
+      ASSERT_TRUE(a.ok()) << "item " << i << ":\n" << a.to_string();
+    }
+  }
+  EXPECT_GT(fault::fires(fault::Site::kValueCorrupt), 0u);
+  EXPECT_TRUE(mono.observe(r).ok());
+}
+
+TEST(FaultSoak, SlackWindowSurvivesCorruptionSoak) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+  const std::uint64_t items = std::min<std::uint64_t>(soak_items(), 300'000);
+
+  SlackQMax<QMax<>> sw(2'000, 0.1, [] { return QMax<>(16, 0.5); },
+                       {.levels = 2, .lazy = true});
+  fault::arm(fault::Site::kValueCorrupt, {.period = 101});
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (std::uint64_t i = 0; i < items; ++i) {
+    sw.add(static_cast<std::uint32_t>(i), dist(rng));
+    if (i % 10'007 == 0) {
+      const AuditResult a = check_invariants(sw);
+      ASSERT_TRUE(a.ok()) << "item " << i << ":\n" << a.to_string();
+    }
+  }
+  EXPECT_GT(fault::fires(fault::Site::kValueCorrupt), 0u);
+  EXPECT_TRUE(check_invariants(sw).ok());
+}
+
+TEST(FaultSoak, TimeSlackRejectsSkewedClockWithoutCorruption) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+
+  TimeSlackQMax<QMax<>> sw(1'000, 0.25, [] { return QMax<>(8, 0.5); });
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+
+  // Warm up past the skew magnitude so a fired skew really goes backwards.
+  std::uint64_t now = 0;
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    now += rng() % 3;
+    sw.add(i, dist(rng), now);
+  }
+  ASSERT_TRUE(check_invariants(sw).ok());
+
+  fault::arm(fault::Site::kClockSkew, {.period = 50, .magnitude = 5'000});
+  std::uint64_t rejected = 0;
+  for (std::uint32_t i = 0; i < 20'000; ++i) {
+    now += 1 + rng() % 3;
+    try {
+      sw.add(i, dist(rng), now);
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // monotonicity guard fired on the skewed timestamp
+      const AuditResult a = check_invariants(sw);
+      ASSERT_TRUE(a.ok()) << "after rejected skew at item " << i << ":\n"
+                          << a.to_string();
+    }
+  }
+  fault::disarm(fault::Site::kClockSkew);
+  EXPECT_GT(rejected, 0u) << "clock skew never tripped the guard";
+  // The structure keeps answering queries after every rejection.
+  (void)sw.query();
+  EXPECT_TRUE(check_invariants(sw).ok());
+}
+
+TEST(FaultSoak, RingPopStallStarvesConsumerNotData) {
+  if (!fault::kEnabled) GTEST_SKIP() << "built without QMAX_FAULT_INJECTION";
+  FaultQuiesce quiesce;
+  using qmax::vswitch::SpscRing;
+
+  SpscRing<int> ring(64);
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(ring.try_push(i));
+
+  // Stall every pop: the consumer sees "empty" but nothing is lost.
+  fault::arm(fault::Site::kRingPopStall, {.period = 1});
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size_approx(), 32u);
+  fault::disarm(fault::Site::kRingPopStall);
+
+  // After the stall clears, every record is still there, in order.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// check_invariants(): the white-box audits hold on every reservoir
+// variant through construction, admission, maintenance, query, and
+// reset — and the audit machinery itself reports violations usefully.
+#include "qmax/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/exp_decay.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+#include "qmax/time_sliding.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::AuditResult;
+using qmax::check_invariants;
+using qmax::ExpDecayQMax;
+using qmax::MonotoneAuditor;
+using qmax::QMax;
+using qmax::SlackQMax;
+using qmax::TimeSlackQMax;
+
+#define EXPECT_AUDIT_OK(r)                                 \
+  do {                                                     \
+    const AuditResult audit_ = check_invariants(r);        \
+    EXPECT_TRUE(audit_.ok()) << audit_.to_string();        \
+  } while (0)
+
+TEST(AuditResult, ReportsViolations) {
+  AuditResult a;
+  EXPECT_TRUE(a.ok());
+  a.expect(true, "never recorded");
+  EXPECT_TRUE(a.ok());
+  a.expect(false, "slot 3 corrupt");
+  a.expect(false, "psi regressed");
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.violations.size(), 2u);
+  EXPECT_NE(a.to_string().find("slot 3 corrupt"), std::string::npos);
+  EXPECT_NE(a.to_string().find("psi regressed"), std::string::npos);
+}
+
+TEST(Invariants, QMaxHoldsAtEveryStep) {
+  // Audit after *every* update: catches mid-iteration states (scratch
+  // partially filled, selection mid-flight) that end-of-run checks miss.
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (const double gamma : {0.05, 0.25, 1.0}) {
+    QMax<std::uint64_t, double> r(16, gamma);
+    EXPECT_AUDIT_OK(r);
+    for (std::uint64_t i = 0; i < 2'000; ++i) {
+      r.add(i, dist(rng));
+      const AuditResult a = check_invariants(r);
+      ASSERT_TRUE(a.ok()) << "gamma " << gamma << " item " << i << ":\n"
+                          << a.to_string();
+    }
+    (void)r.query();
+    EXPECT_AUDIT_OK(r);
+    r.reset();
+    EXPECT_AUDIT_OK(r);
+  }
+}
+
+TEST(Invariants, QMaxIntegerValues) {
+  QMax<std::uint32_t, std::int64_t> r(8, 0.5);
+  std::mt19937_64 rng(2);
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    r.add(i, static_cast<std::int64_t>(rng() % 1'000'000));
+    if (i % 64 == 0) EXPECT_AUDIT_OK(r);
+  }
+  EXPECT_AUDIT_OK(r);
+}
+
+TEST(Invariants, AmortizedHoldsAtEveryStep) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  AmortizedQMax<> r(32, 0.25);
+  EXPECT_AUDIT_OK(r);
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    r.add(static_cast<std::uint32_t>(i), dist(rng));
+    const AuditResult a = check_invariants(r);
+    ASSERT_TRUE(a.ok()) << "item " << i << ":\n" << a.to_string();
+  }
+  (void)r.query();
+  EXPECT_AUDIT_OK(r);
+  r.reset();
+  EXPECT_AUDIT_OK(r);
+}
+
+TEST(Invariants, SlackWindowVariantsHold) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const auto factory = [] { return QMax<>(8, 0.5); };
+  SlackQMax<QMax<>> basic(500, 0.1, factory);
+  SlackQMax<QMax<>> hier(500, 0.1, factory, {.levels = 2});
+  SlackQMax<QMax<>> lazy(500, 0.1, factory, {.levels = 2, .lazy = true});
+  EXPECT_AUDIT_OK(basic);
+  EXPECT_AUDIT_OK(hier);
+  EXPECT_AUDIT_OK(lazy);
+  for (std::uint32_t i = 0; i < 3'000; ++i) {
+    const double v = dist(rng);
+    basic.add(i, v);
+    hier.add(i, v);
+    lazy.add(i, v);
+    if (i % 37 == 0) {  // off the block boundary, so mid-block states too
+      EXPECT_AUDIT_OK(basic);
+      EXPECT_AUDIT_OK(hier);
+      EXPECT_AUDIT_OK(lazy);
+    }
+  }
+  (void)basic.query();
+  (void)hier.query();
+  (void)lazy.query();
+  EXPECT_AUDIT_OK(basic);
+  EXPECT_AUDIT_OK(hier);
+  EXPECT_AUDIT_OK(lazy);
+  basic.reset();
+  EXPECT_AUDIT_OK(basic);
+}
+
+TEST(Invariants, TimeSlackHoldsThroughBurstsAndGaps) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  TimeSlackQMax<QMax<>> sw(1'000, 0.25, [] { return QMax<>(8, 0.5); });
+  EXPECT_AUDIT_OK(sw);
+  std::uint64_t now = 0;
+  for (std::uint32_t i = 0; i < 2'000; ++i) {
+    // Bursts with occasional long quiet periods (whole blocks expire).
+    now += (i % 97 == 0) ? 400 : (rng() % 3);
+    sw.add(i, dist(rng), now);
+    if (i % 41 == 0) EXPECT_AUDIT_OK(sw);
+  }
+  (void)sw.query();
+  EXPECT_AUDIT_OK(sw);
+}
+
+TEST(Invariants, ExpDecayHolds) {
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+  ExpDecayQMax<> r(16, 0.9, 0.25);
+  EXPECT_AUDIT_OK(r);
+  for (std::uint32_t i = 0; i < 20'000; ++i) {
+    r.add(i, dist(rng));
+    if (i % 101 == 0) EXPECT_AUDIT_OK(r);
+  }
+  (void)r.query();
+  EXPECT_AUDIT_OK(r);
+}
+
+TEST(Invariants, MonotoneAuditorTracksPsiAndProcessed) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  QMax<> r(8, 0.25);
+  MonotoneAuditor<QMax<>> mono;
+  for (std::uint32_t i = 0; i < 3'000; ++i) {
+    r.add(i, dist(rng));
+    if (i % 53 == 0) {
+      const AuditResult a = mono.observe(r);
+      ASSERT_TRUE(a.ok()) << a.to_string();
+    }
+  }
+  const AuditResult last = mono.observe(r);
+  EXPECT_TRUE(last.ok()) << last.to_string();
+}
+
+TEST(Invariants, MonotoneAuditorCatchesReset) {
+  // reset() drops Ψ back to the empty value — the cross-observation
+  // auditor must flag the regression (the invariant it exists to guard).
+  QMax<> r(4, 0.5);
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  MonotoneAuditor<QMax<>> mono;
+  for (std::uint32_t i = 0; i < 200; ++i) r.add(i, dist(rng));
+  ASSERT_TRUE(mono.observe(r).ok());
+  ASSERT_GT(r.threshold(), 0.0);  // Ψ actually rose
+  r.reset();
+  const AuditResult a = mono.observe(r);
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.to_string().find("regressed"), std::string::npos)
+      << a.to_string();
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Non-finite value semantics: NaN and the reserved empty value are never
+// admitted (they would corrupt selection invariants), −Inf is always
+// below the admission bound, +Inf is an ordinary — if extreme — value,
+// and scalar and batch ingestion agree on all of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/exp_decay.hpp"
+#include "qmax/invariants.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::check_invariants;
+using qmax::ExpDecayQMax;
+using qmax::kEmptyValue;
+using qmax::QMax;
+using qmax::SlackQMax;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kLowest = std::numeric_limits<double>::lowest();
+
+/// A stream laced with every poison value between ordinary ones.
+std::vector<double> poisoned_stream(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> vals;
+  vals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 13) {
+      case 3: vals.push_back(kNaN); break;
+      case 7: vals.push_back(kInf); break;
+      case 9: vals.push_back(-kInf); break;
+      case 11: vals.push_back(kLowest); break;
+      default: vals.push_back(dist(rng)); break;
+    }
+  }
+  return vals;
+}
+
+TEST(NanSemantics, QMaxScalarRejectsPoison) {
+  QMax<> r(4, 0.5);
+  EXPECT_FALSE(r.add(1, kNaN));
+  EXPECT_FALSE(r.add(2, kLowest));  // the reserved empty value
+  EXPECT_FALSE(r.add(3, -kInf));    // never above the admission bound
+  EXPECT_TRUE(r.add(4, kInf));      // an ordinary, extreme value
+  EXPECT_TRUE(r.add(5, 0.5));
+  EXPECT_EQ(r.admitted(), 2u);
+  EXPECT_EQ(r.processed(), 5u);
+  // Nothing poisonous reached the array.
+  for (const auto& e : r.query()) EXPECT_FALSE(std::isnan(e.val));
+  EXPECT_TRUE(check_invariants(r).ok()) << check_invariants(r).to_string();
+}
+
+TEST(NanSemantics, AmortizedScalarRejectsPoison) {
+  AmortizedQMax<> r(4, 0.5);
+  EXPECT_FALSE(r.add(1, kNaN));
+  EXPECT_FALSE(r.add(2, kLowest));
+  EXPECT_FALSE(r.add(3, -kInf));
+  EXPECT_TRUE(r.add(4, kInf));
+  EXPECT_TRUE(r.add(5, 0.5));
+  EXPECT_TRUE(check_invariants(r).ok()) << check_invariants(r).to_string();
+}
+
+TEST(NanSemantics, InfinityBehavesAsMaximum) {
+  QMax<> r(2, 0.5);
+  for (std::uint32_t i = 0; i < 1'000; ++i) {
+    r.add(i, static_cast<double>(i));
+  }
+  r.add(9'999, kInf);
+  const auto top = r.query();
+  ASSERT_EQ(top.size(), 2u);
+  bool has_inf = false;
+  for (const auto& e : top) has_inf |= std::isinf(e.val);
+  EXPECT_TRUE(has_inf) << "+Inf must rank above every finite value";
+  EXPECT_TRUE(check_invariants(r).ok());
+}
+
+TEST(NanSemantics, ScalarAndBatchAgreeOnPoisonedStream) {
+  const std::size_t n = 50'000;
+  const auto vals = poisoned_stream(n, 21);
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+
+  QMax<> scalar(32, 0.25);
+  QMax<> batched(32, 0.25);
+  std::size_t scalar_admitted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scalar_admitted += scalar.add(ids[i], vals[i]) ? 1 : 0;
+  }
+  std::size_t batch_admitted = 0;
+  for (std::size_t i = 0; i < n; i += 1'024) {
+    const std::size_t m = std::min<std::size_t>(1'024, n - i);
+    batch_admitted += batched.add_batch(ids.data() + i, vals.data() + i, m);
+  }
+
+  EXPECT_EQ(scalar_admitted, batch_admitted);
+  EXPECT_EQ(scalar.threshold(), batched.threshold());
+  auto sq = scalar.query();
+  auto bq = batched.query();
+  auto key = [](const auto& a, const auto& b) {
+    return a.val != b.val ? a.val < b.val : a.id < b.id;
+  };
+  std::sort(sq.begin(), sq.end(), key);
+  std::sort(bq.begin(), bq.end(), key);
+  ASSERT_EQ(sq.size(), bq.size());
+  for (std::size_t i = 0; i < sq.size(); ++i) {
+    EXPECT_EQ(sq[i].val, bq[i].val);
+    EXPECT_EQ(sq[i].id, bq[i].id);
+  }
+  EXPECT_TRUE(check_invariants(scalar).ok());
+  EXPECT_TRUE(check_invariants(batched).ok());
+}
+
+TEST(NanSemantics, ExpDecayAcceptsOnlyPositiveFiniteWeights) {
+  ExpDecayQMax<> r(4, 0.9);
+  EXPECT_FALSE(r.add(1, kNaN));
+  EXPECT_FALSE(r.add(2, 0.0));
+  EXPECT_FALSE(r.add(3, -1.0));
+  EXPECT_FALSE(r.add(4, kInf));  // log-domain key would be +Inf
+  EXPECT_TRUE(r.add(5, 1.0));
+  EXPECT_TRUE(r.add(6, 1e-300));  // tiny but positive finite
+  EXPECT_TRUE(check_invariants(r).ok()) << check_invariants(r).to_string();
+}
+
+TEST(NanSemantics, WindowVariantNeverStoresPoison) {
+  SlackQMax<QMax<>> sw(500, 0.1, [] { return QMax<>(8, 0.5); });
+  const auto vals = poisoned_stream(20'000, 23);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    sw.add(static_cast<std::uint32_t>(i), vals[i]);
+  }
+  for (const auto& e : sw.query()) EXPECT_FALSE(std::isnan(e.val));
+  const auto a = check_invariants(sw);
+  EXPECT_TRUE(a.ok()) << a.to_string();
+}
+
+}  // namespace

@@ -101,7 +101,7 @@ TEST(VirtualSwitch, BackpressureThrottlesSlowConsumer) {
 TEST(VirtualSwitch, DropModeLosesRecordsButNotPackets) {
   SwitchConfig cfg;
   cfg.ring_capacity = 256;
-  cfg.backpressure = false;
+  cfg.policy = OverloadPolicy::kDrop;
   VirtualSwitch sw(cfg);
   sw.install_default_rules();
   MinSizePacketGenerator gen(1'000, 5);
