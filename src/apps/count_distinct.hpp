@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
 #include "qmax/qmin.hpp"
@@ -143,9 +144,8 @@ class WindowedCountDistinct {
       if (dedup_.insert(e.id).second) hashes.push_back(-e.val);
     }
     if (hashes.size() < k_) return static_cast<double>(hashes.size());
-    std::nth_element(hashes.begin(),
-                     hashes.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
-                     hashes.end());
+    core::partition_top(hashes.begin(), k_, hashes.end(),
+                        std::less<double>{});
     return (static_cast<double>(k_) - 1.0) / hashes[k_ - 1];
   }
 

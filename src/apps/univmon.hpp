@@ -26,6 +26,7 @@
 
 #include "common/hash.hpp"
 #include "qmax/concepts.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
 
@@ -60,9 +61,8 @@ class CountSketch {
       const std::int64_t sign = (h >> 63) ? 1 : -1;
       row_buf_.push_back(sign * counters_[r * (mask_ + 1) + col]);
     }
-    std::nth_element(row_buf_.begin(),
-                     row_buf_.begin() + static_cast<std::ptrdiff_t>(rows_ / 2),
-                     row_buf_.end());
+    core::partition_top(row_buf_.begin(), rows_ / 2 + 1, row_buf_.end(),
+                        std::less<std::int64_t>{});
     return row_buf_[rows_ / 2];
   }
 

@@ -8,8 +8,8 @@
 //
 //   1. merges each key's duplicates in the log domain,
 //      w = w_max + log1p(exp(w_min − w_max)), exactly the paper's formula;
-//   2. selects the q keys with the largest merged weight (nth_element,
-//      O(q(1+γ)));
+//   2. selects the q keys with the largest merged weight (one
+//      partition_top pass, O(q(1+γ)));
 //   3. batch-evicts the rest.
 //
 // Amortized cost is O(1/γ) — constant for fixed γ. The paper additionally
@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/validate.hpp"
+#include "qmax/core.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
 
@@ -176,10 +177,9 @@ class LrfuQMaxCache {
     if (entries_.size() > q_) {
       tm_.evicted_keys.inc(entries_.size() - q_);
       tm_.evict_batch_size.record(entries_.size() - q_);
-      std::nth_element(entries_.begin(),
-                       entries_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
-                       entries_.end(),
-                       [](const Slot& a, const Slot& b) { return a.w > b.w; });
+      core::partition_top(
+          entries_.begin(), q_, entries_.end(),
+          [](const Slot& a, const Slot& b) { return a.w > b.w; });
       for (std::size_t i = q_; i < entries_.size(); ++i) {
         index_.erase(entries_[i].key);
       }

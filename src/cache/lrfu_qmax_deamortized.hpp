@@ -5,7 +5,10 @@
 // it merges duplicates and selects survivors. This variant spreads all of
 // that across individual accesses, mirroring the paper's three-interval
 // scheme (Large / Small / New) on the same array geometry as QMax
-// (N = q + 2g slots, alternating parity):
+// (N = q + 2g slots, alternating parity), reusing QMax's Algorithm 1
+// skeleton directly: core::ParityEngine owns the slot array, Ψ, parity,
+// and the budgeted incremental selection, instantiated here over cache
+// claims instead of reservoir entries.
 //
 //  * Selection is incremental: each access that appends an array claim
 //    also advances a budgeted quickselect over the frozen candidate
@@ -19,7 +22,10 @@
 //  * Eviction is lazy: when an iteration ends, the losing region simply
 //    becomes the next scratch region; each loser slot is reconciled
 //    against the map at the moment it is overwritten — one reconciliation
-//    per access, never a batch walk.
+//    per access, never a batch walk. (This is where the cache departs
+//    from QMax's DeamortizedMaintenance, whose iteration-end hook walks
+//    and evicts the losers eagerly; here the hook only bumps the
+//    iteration counter.)
 //
 // A key may leave behind stale claims (older, strictly smaller scores) in
 // the candidate region when it is re-inserted; eviction reconciliation
@@ -37,8 +43,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/select.hpp"
 #include "common/validate.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
@@ -79,16 +85,8 @@ class LrfuQMaxCacheDeamortized {
             decay, "LrfuQMaxCacheDeamortized", "decay"))) {
     common::validate_gamma(gamma, "LrfuQMaxCacheDeamortized");
     gamma_ = gamma;
-    g_ = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(q) * gamma / 2.0));
-    if (g_ == 0) g_ = 1;
-    arr_.assign(q_ + 2 * g_, Claim{Key{}, kEmptyValue<double>});
-    const std::size_t m = q_ + g_;
-    step_budget_ = static_cast<std::uint64_t>(budget_factor) *
-                       ((m + g_ - 1) / g_) +
-                   budget_factor;
-    index_.reserve(arr_.size() * 2);
-    begin_iteration();
+    eng_.init(q_, gamma, budget_factor, Claim{Key{}, kEmptyValue<double>});
+    index_.reserve(eng_.arr_.size() * 2);
   }
 
   /// Process a reference; returns true on a hit. Worst-case O(1/γ) plus
@@ -116,11 +114,11 @@ class LrfuQMaxCacheDeamortized {
       // still recognize it as the key's latest.
       it->second.w = w_new;
       it->second.claim_w = w_new;
-      arr_[it->second.claim_slot].w = w_new;
+      eng_.arr_[it->second.claim_slot].w = w_new;
       tm_.inplace_merges.inc();
       return hit;
     }
-    if (hit && it->second.claim_w > psi_) {
+    if (hit && it->second.claim_w > eng_.psi_) {
       // The resident claim still clears the admission bound: it safely
       // lower-bounds the key. Update the map only.
       it->second.w = w_new;
@@ -129,15 +127,17 @@ class LrfuQMaxCacheDeamortized {
     }
     // Fresh claim (miss, or resident claim at risk of eviction).
     tm_.fresh_claims.inc();
-    const std::size_t slot = scratch_base() + steps_;
+    const std::size_t slot = eng_.next_slot();
     reconcile_overwrite(slot);  // lazy eviction of last iteration's loser
-    arr_[slot] = Claim{key, w_new};
+    eng_.arr_[slot] = Claim{key, w_new};
     index_[key] = Info{w_new, w_new, iteration_, slot};
-    ++steps_;
-    const std::uint64_t ops_before = select_.total_ops();
-    advance_selection();
-    tm_.steps_per_access.record(select_.total_ops() - ops_before);
-    if (steps_ == g_) end_iteration();
+    const std::uint64_t delta = eng_.note_admission(
+        [&] { tm_.psi_updates.inc(); },
+        // No eviction walk: the losing region becomes the next scratch
+        // and is reconciled slot-by-slot as it is overwritten. Only the
+        // iteration counter advances at an iteration boundary.
+        [&](std::size_t, std::size_t) { ++iteration_; });
+    tm_.steps_per_access.record(delta);
     return hit;
   }
 
@@ -164,23 +164,18 @@ class LrfuQMaxCacheDeamortized {
   }
   /// Iterations whose selection needed the synchronous safety net.
   [[nodiscard]] std::uint64_t late_selections() const noexcept {
-    return late_selections_;
+    return eng_.late_selections_;
   }
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
   void reset() {
-    arr_.assign(arr_.size(), Claim{Key{}, kEmptyValue<double>});
+    eng_.reset();
     index_.clear();
     t_ = 0;
     hits_ = 0;
     accesses_ = 0;
-    steps_ = 0;
-    psi_ = kEmptyValue<double>;
-    parity_a_ = true;
     iteration_ = 0;
-    late_selections_ = 0;
     tm_.reset();
-    begin_iteration();
   }
 
  private:
@@ -201,54 +196,14 @@ class LrfuQMaxCacheDeamortized {
       return descending ? b.w < a.w : a.w < b.w;
     }
   };
-
-  [[nodiscard]] std::size_t scratch_base() const noexcept {
-    return parity_a_ ? q_ + g_ : 0;
-  }
-  [[nodiscard]] std::size_t candidate_base() const noexcept {
-    return parity_a_ ? 0 : g_;
-  }
-
-  void begin_iteration() {
-    const std::size_t m = q_ + g_;
-    const bool desc = !parity_a_;
-    const std::size_t k = parity_a_ ? g_ : q_ - 1;
-    select_.start(arr_.data() + candidate_base(), m, k,
-                  ClaimOrder{.descending = desc});
-    psi_applied_ = false;
-  }
-
-  void advance_selection() {
-    if (select_.done()) return;
-    if (select_.step(step_budget_)) apply_new_threshold();
-  }
-
-  void apply_new_threshold() {
-    if (psi_applied_) return;
-    const double nth = select_.nth().w;
-    if (nth > psi_) {
-      psi_ = nth;
-      tm_.psi_updates.inc();
+  struct WProj {
+    [[nodiscard]] constexpr double operator()(const Claim& c) const noexcept {
+      return c.w;
     }
-    psi_applied_ = true;
-  }
-
-  void end_iteration() {
-    if (!select_.done()) {
-      ++late_selections_;
-      select_.finish();
-    }
-    apply_new_threshold();
-    // No eviction walk: the losing region becomes the next scratch and is
-    // reconciled slot-by-slot as it is overwritten.
-    parity_a_ = !parity_a_;
-    steps_ = 0;
-    ++iteration_;
-    begin_iteration();
-  }
+  };
 
   void reconcile_overwrite(std::size_t slot) {
-    Claim& old = arr_[slot];
+    Claim& old = eng_.arr_[slot];
     if (old.w == kEmptyValue<double>) return;
     auto it = index_.find(old.key);
     // Evict only if this claim is the key's latest one; stale (smaller)
@@ -262,21 +217,13 @@ class LrfuQMaxCacheDeamortized {
   std::size_t q_;
   double log_c_;
   double gamma_ = 0.0;
-  std::size_t g_ = 0;
-  std::vector<Claim> arr_;
   std::unordered_map<Key, Info> index_;
-  double psi_ = kEmptyValue<double>;
-  bool parity_a_ = true;
-  bool psi_applied_ = false;
   std::uint64_t iteration_ = 0;
-  std::size_t steps_ = 0;
   std::uint64_t t_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t accesses_ = 0;
-  std::uint64_t step_budget_ = 0;
-  std::uint64_t late_selections_ = 0;
   [[no_unique_address]] Telemetry tm_;
-  common::IncrementalSelect<Claim, ClaimOrder> select_;
+  core::ParityEngine<Claim, ClaimOrder, WProj> eng_;
 };
 
 }  // namespace qmax::cache

@@ -3,6 +3,7 @@
 // and topology, each packet seen by the NMPs on its path).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <stdexcept>

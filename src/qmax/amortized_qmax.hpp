@@ -4,239 +4,44 @@
 //
 // Keep an array of q + G slots (G = ⌈qγ⌉). Admit items above Ψ into the
 // free suffix; when the array fills, one maintenance pass runs a full
-// nth_element (descending, at q-1), raises Ψ to the q-th largest, and
+// selection (descending, at q-1), raises Ψ to the q-th largest, and
 // batch-evicts the G losers. Maintenance costs O(q + G) once per G
 // admissions — O(1/γ) amortized — but an individual update can stall for
 // the whole pass; the deamortized QMax exists to remove exactly that stall.
 // Kept as a production option (slightly faster in steady state; the
 // bench_abl_deamortization ablation quantifies the gap) and as a reference
 // implementation for differential testing.
+//
+// Policy composition over core::ReservoirCore:
+//   MaxValuePolicy × LandmarkWindow × AmortizedMaintenance.
 #pragma once
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
-#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <span>
-#include <stdexcept>
-#include <vector>
 
-#include "common/fault.hpp"
-#include "common/validate.hpp"
-#include "qmax/batch.hpp"
-#include "qmax/entry.hpp"
-#include "telemetry/counters.hpp"
-#include "telemetry/histogram.hpp"
+#include "qmax/core.hpp"
 
 namespace qmax {
 
-struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
+namespace detail {
+template <typename Id, typename Value>
+using AmortizedQMaxBase =
+    core::ReservoirCore<core::MaxValuePolicy<Id, Value>, core::LandmarkWindow,
+                        core::AmortizedMaintenance<
+                            core::MaxValuePolicy<Id, Value>>>;
+}  // namespace detail
 
 template <typename Id = std::uint64_t, typename Value = double>
-class AmortizedQMax {
+class AmortizedQMax : public detail::AmortizedQMaxBase<Id, Value> {
+  using Base = detail::AmortizedQMaxBase<Id, Value>;
+
  public:
-  using EntryT = BasicEntry<Id, Value>;
-  using EvictCallback = std::function<void(const EntryT&)>;
+  using EntryT = typename Base::EntryT;
+  using EvictCallback = typename Base::EvictCallback;
+  using Options = typename Base::Options;
+  using Telemetry = typename Base::Telemetry;
 
-  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
-  struct Telemetry {
-    telemetry::Counter maintenance_passes;  // full nth_element sweeps
-    telemetry::Counter evicted_items;
-    telemetry::Counter batch_calls;         // add_batch invocations
-    telemetry::Counter prefilter_rejected;  // items screened out by Ψ
-    telemetry::Histogram evict_batch_size;  // items dropped per sweep
-    telemetry::Histogram batch_survivors;   // prefilter survivors per batch
-
-    template <typename Fn>
-    void visit(Fn&& fn) const {
-      fn("maintenance_passes", maintenance_passes);
-      fn("evicted_items", evicted_items);
-      fn("batch_calls", batch_calls);
-      fn("prefilter_rejected", prefilter_rejected);
-      fn("evict_batch_size", evict_batch_size);
-      fn("batch_survivors", batch_survivors);
-    }
-    void reset() noexcept {
-      maintenance_passes.reset();
-      evicted_items.reset();
-      batch_calls.reset();
-      prefilter_rejected.reset();
-      evict_batch_size.reset();
-      batch_survivors.reset();
-    }
-  };
-
-  explicit AmortizedQMax(std::size_t q, double gamma = 0.25) : q_(q) {
-    common::validate_q_gamma(q, gamma, "AmortizedQMax");
-    fault::maybe_fail_alloc();
-    gamma_ = gamma;
-    std::size_t extra = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(q) * gamma));
-    if (extra == 0) extra = 1;
-    arr_.reserve(q_ + extra);
-    cap_ = q_ + extra;
-    batch_idx_.resize(batch::kPrefilterBlock);
-  }
-
-  bool add(Id id, Value val) {
-    ++processed_;
-    val = fault::corrupt_value(val);
-    if (!is_admissible_value(val) || !(val > psi_)) return false;
-    ++admitted_;
-    arr_.push_back(EntryT{id, val});
-    if (arr_.size() == cap_) maintain();
-    return true;
-  }
-
-  /// Report `n` items at once; equivalent to n in-order add() calls (same
-  /// Ψ trajectory, maintenance points, and query results). A whole-lane
-  /// reject test against the live Ψ skips 16-item runs of rejected items
-  /// with a few packed compares; surviving lanes run the exact scalar
-  /// admission code, so maintenance passes fire at exactly the scalar
-  /// points (array full) and a Ψ raised mid-lane tightens the remaining
-  /// tests immediately. Returns the number of admitted items.
-  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
-    processed_ += n;
-    tm_.batch_calls.inc();
-    std::size_t admitted_in_batch = 0;
-    std::size_t screened = 0;
-    std::size_t j = 0;
-    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
-      if (!batch::lane_any_above(vals + j, psi_)) {
-        screened += batch::kScreenLane;
-        continue;
-      }
-      // Walk the set bits; re-test each candidate against the live Ψ (a
-      // maintenance pass mid-lane raises it).
-      unsigned mask = batch::lane_mask_above(vals + j, psi_);
-      while (mask != 0) {
-        const std::size_t k =
-            j + static_cast<std::size_t>(std::countr_zero(mask));
-        mask &= mask - 1;
-        if (!(vals[k] > psi_)) continue;
-        arr_.push_back(EntryT{ids[k], vals[k]});
-        if (arr_.size() == cap_) maintain();
-        ++admitted_in_batch;
-      }
-    }
-    for (; j < n; ++j) {
-      if (!(vals[j] > psi_)) {
-        ++screened;
-        continue;
-      }
-      arr_.push_back(EntryT{ids[j], vals[j]});
-      if (arr_.size() == cap_) maintain();
-      ++admitted_in_batch;
-    }
-    admitted_ += admitted_in_batch;
-    tm_.prefilter_rejected.inc(screened);
-    tm_.batch_survivors.record(n - screened);
-    return admitted_in_batch;
-  }
-
-  /// add_batch over pre-paired entries.
-  std::size_t add_batch(std::span<const EntryT> items) {
-    const std::size_t n = items.size();
-    processed_ += n;
-    tm_.batch_calls.inc();
-    std::size_t admitted_in_batch = 0;
-    std::size_t survivors_in_batch = 0;
-    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
-      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
-      const std::size_t survivors = batch::prefilter_above(
-          items.data() + base, m, psi_, batch_idx_.data());
-      tm_.prefilter_rejected.inc(m - survivors);
-      survivors_in_batch += survivors;
-      for (std::size_t s = 0; s < survivors; ++s) {
-        const EntryT& e = items[base + batch_idx_[s]];
-        if (!(e.val > psi_)) continue;
-        arr_.push_back(e);
-        if (arr_.size() == cap_) maintain();
-        ++admitted_in_batch;
-      }
-    }
-    admitted_ += admitted_in_batch;
-    tm_.batch_survivors.record(survivors_in_batch);
-    return admitted_in_batch;
-  }
-
-  [[nodiscard]] Value threshold() const noexcept { return psi_; }
-
-  void query_into(std::vector<EntryT>& out) const {
-    const std::size_t take = std::min(q_, arr_.size());
-    if (take == 0) return;
-    scratch_ = arr_;
-    if (take < scratch_.size()) {
-      std::nth_element(scratch_.begin(),
-                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
-                       scratch_.end(),
-                       ValueOrder<Id, Value>{.descending = true});
-    }
-    out.insert(out.end(), scratch_.begin(),
-               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
-  }
-
-  [[nodiscard]] std::vector<EntryT> query() const {
-    std::vector<EntryT> out;
-    out.reserve(q_);
-    query_into(out);
-    return out;
-  }
-
-  template <typename Fn>
-  void for_each_live(Fn&& fn) const {
-    for (const auto& e : arr_) fn(e);
-  }
-
-  void reset() noexcept {
-    arr_.clear();
-    psi_ = kEmptyValue<Value>;
-    processed_ = 0;
-    admitted_ = 0;
-    tm_.reset();
-  }
-
-  void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
-
-  [[nodiscard]] std::size_t q() const noexcept { return q_; }
-  [[nodiscard]] double gamma() const noexcept { return gamma_; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
-  [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
-  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
-  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
-  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
-
- private:
-  friend struct InvariantAccess;
-
-  void maintain() {
-    std::nth_element(arr_.begin(),
-                     arr_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
-                     arr_.end(), ValueOrder<Id, Value>{.descending = true});
-    psi_ = std::max(psi_, arr_[q_ - 1].val);
-    if (on_evict_) {
-      for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
-    }
-    const std::size_t batch = arr_.size() - q_;
-    tm_.maintenance_passes.inc();
-    tm_.evicted_items.inc(batch);
-    tm_.evict_batch_size.record(batch);
-    arr_.resize(q_);
-  }
-
-  std::size_t q_;
-  double gamma_ = 0.0;
-  std::size_t cap_ = 0;
-  std::vector<EntryT> arr_;
-  Value psi_ = kEmptyValue<Value>;
-  std::uint64_t processed_ = 0;
-  std::uint64_t admitted_ = 0;
-  [[no_unique_address]] Telemetry tm_;
-  EvictCallback on_evict_;
-  mutable std::vector<EntryT> scratch_;
-  std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
+  explicit AmortizedQMax(std::size_t q, double gamma = 0.25)
+      : Base(q, typename Base::Options{.gamma = gamma}, {}, "AmortizedQMax") {}
 };
 
 }  // namespace qmax

@@ -1,0 +1,837 @@
+// ReservoirCore — the one maintenance engine behind every q-MAX variant.
+//
+// Before this header existed, each reservoir (QMax, AmortizedQMax, the
+// window containers, ExpDecayQMax, the LRFU caches) hand-rolled the same
+// Ψ-admission / scratch-fill / selection-partition / deamortization
+// machinery from Section 4.2 of the paper, and every cross-cutting concern
+// (telemetry, fault injection, invariant audits, validation, batched
+// ingestion) had to be wired into each copy separately. This header
+// collapses all of that into one policy-parameterized core:
+//
+//   ReservoirCore<ValuePolicy, WindowPolicy, MaintenancePolicy>
+//
+//   * ValuePolicy — the item domain: entry type, comparator, the reserved
+//     empty value, and the admissibility test (MaxValuePolicy is the only
+//     instance today; a min-oriented policy would slot in the same way —
+//     QMin instead reuses MaxValuePolicy via negation).
+//   * WindowPolicy — the per-arrival key transform. LandmarkWindow is the
+//     identity (plain q-MAX); ExpDecayWindow maps values into the
+//     log-decay domain of Section 5 (val ↦ log(val) − i·log c).
+//   * MaintenancePolicy — WHEN and HOW the array is pruned back to q
+//     items. DeamortizedMaintenance is Algorithm 1 (parity array,
+//     incremental selection, worst-case O(1/γ)); AmortizedMaintenance is
+//     Algorithm 2 (append + one nth_element pass per ⌈qγ⌉ admissions,
+//     amortized O(1/γ)).
+//
+// The core owns the admission gate (Ψ test + fault-injection site), the
+// processed/admitted accounting, the batched-ingestion fast path (the
+// SIMD lane screen of batch.hpp), the query partition, and reset(). The
+// maintenance policies own the slot array and Ψ itself. ParityEngine —
+// the Algorithm 1 skeleton — is additionally shared with the deamortized
+// LRFU cache (src/cache/lrfu_qmax_deamortized.hpp), which runs the same
+// parity/selection scheme over claim slots with lazy reconciliation
+// instead of an eviction walk.
+//
+// This file and common/select.hpp are the ONLY places selection/partition
+// logic is allowed to live (invariants.hpp keeps an independent
+// nth_element as a cross-check oracle); scripts/check_no_duplicate_selection.sh
+// enforces that in CI.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/select.hpp"
+#include "common/validate.hpp"
+#include "qmax/batch.hpp"
+#include "qmax/entry.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace qmax {
+struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
+}  // namespace qmax
+
+namespace qmax::core {
+
+/// The library's one top-k partition primitive: reorder [first, last) so
+/// the `take` best elements under `comp` occupy the prefix, with the
+/// take-th best exactly at position take-1 (nth_element semantics).
+/// Precondition: 0 < take < distance(first, last).
+template <typename It, typename Comp>
+inline void partition_top(It first, std::size_t take, It last, Comp comp) {
+  std::nth_element(first, first + static_cast<std::ptrdiff_t>(take - 1), last,
+                   std::move(comp));
+}
+
+// ---------------------------------------------------------------------
+// Value policies
+// ---------------------------------------------------------------------
+
+/// Track the q LARGEST values of a totally ordered domain — the paper's
+/// q-MAX problem. Minimum-oriented applications go through the QMin
+/// adapter (negation) rather than a second policy, preserving the exact
+/// comparator and tie behavior of the max path.
+template <typename Id, typename Value>
+struct MaxValuePolicy {
+  using EntryT = BasicEntry<Id, Value>;
+  using Order = ValueOrder<Id, Value>;
+
+  [[nodiscard]] static constexpr Value empty() noexcept {
+    return kEmptyValue<Value>;
+  }
+  [[nodiscard]] static constexpr bool admissible(Value v) noexcept {
+    return is_admissible_value(v);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Window policies
+// ---------------------------------------------------------------------
+
+/// Identity transform: items keep their reported values (plain q-MAX over
+/// the whole stream / landmark window).
+struct LandmarkWindow {
+  static constexpr bool kIdentity = true;
+};
+
+/// Section 5's exponential-decay reduction: feeding val·c^(−i) into a
+/// standard q-MAX makes the order of decayed weights time-invariant.
+/// Computed in the log domain (val ↦ log(val) − i·log c) to avoid
+/// overflow; rejects values that are not positive finite numbers, exactly
+/// like the pre-refactor wrapper's early return.
+struct ExpDecayWindow {
+  static constexpr bool kIdentity = false;
+
+  double log_c = 0.0;
+
+  [[nodiscard]] bool transform(double& val,
+                               std::uint64_t index) const noexcept {
+    if (!(val > 0.0) || !std::isfinite(val)) return false;
+    val = std::log(val) - static_cast<double>(index) * log_c;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------
+// ParityEngine — the Algorithm 1 skeleton
+// ---------------------------------------------------------------------
+
+/// The deamortized parity-array scheme shared by DeamortizedMaintenance
+/// and the deamortized LRFU cache. Owns the N = q + 2g slot array, the
+/// admission bound Ψ, the A/B parity, and the budgeted incremental
+/// selection; the host supplies what differs per user via two hooks:
+///
+///   on_psi()           — fired when Ψ is raised (telemetry naming).
+///   on_end(lo, count)  — fired at iteration end on the loser region
+///                        [lo, lo+count), BEFORE the parity flips. QMax
+///                        batch-evicts here; the LRFU cache instead bumps
+///                        its iteration counter and reconciles losers
+///                        lazily as they are overwritten.
+///
+/// Slot is the array element (an entry, a cache claim, ...), Order its
+/// comparator (first member: bool descending), Proj extracts the ordered
+/// value from a Slot. Members are public: this is an internal engine that
+/// its hosts and the invariant audits read directly.
+template <typename Slot, typename Order, typename Proj>
+struct ParityEngine {
+  using Value = std::remove_cvref_t<std::invoke_result_t<Proj, const Slot&>>;
+
+  void init(std::size_t q, double gamma, unsigned budget_factor, Slot empty) {
+    q_ = q;
+    empty_ = empty;
+    g_ = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma / 2.0));
+    if (g_ == 0) g_ = 1;
+    arr_.assign(q_ + 2 * g_, empty_);
+    // The selection needs ~2-3(q+g) expected ops per iteration of g
+    // steps; budget_factor scales the per-step allowance above that.
+    const std::size_t m = q_ + g_;
+    step_budget_ = static_cast<std::uint64_t>(budget_factor) *
+                       ((m + g_ - 1) / g_) +
+                   budget_factor;
+    psi_ = Proj{}(empty_);
+    begin_iteration();
+  }
+
+  void reset() noexcept {
+    for (Slot& s : arr_) s = empty_;
+    psi_ = Proj{}(empty_);
+    parity_a_ = true;
+    steps_ = 0;
+    late_selections_ = 0;
+    begin_iteration();
+  }
+
+  /// The slot the next admission writes (left-to-right scratch fill).
+  [[nodiscard]] std::size_t next_slot() const noexcept {
+    return scratch_base() + steps_;
+  }
+  [[nodiscard]] std::size_t scratch_base() const noexcept {
+    return parity_a_ ? q_ + g_ : 0;
+  }
+  [[nodiscard]] std::size_t candidate_base() const noexcept {
+    return parity_a_ ? 0 : g_;
+  }
+
+  /// Account one admission (the host has already written next_slot()):
+  /// advances the budgeted selection and ends the iteration at g steps.
+  /// Returns the selection ops this admission consumed (for histograms).
+  template <typename OnPsi, typename OnEnd>
+  std::uint64_t note_admission(OnPsi&& on_psi, OnEnd&& on_end) {
+    ++steps_;
+    const std::uint64_t ops_before = select_.total_ops();
+    advance_selection(on_psi);
+    const std::uint64_t delta = select_.total_ops() - ops_before;
+    if (steps_ == g_) end_iteration(on_psi, on_end);
+    return delta;
+  }
+
+  void begin_iteration() {
+    // Parity A selects ascending at k = g (the (g+1)-th smallest of the
+    // q+g candidates is the q-th largest); parity B selects descending at
+    // k = q-1. Both leave the q winners in the middle slots [g, g+q).
+    const std::size_t m = q_ + g_;
+    const bool desc = !parity_a_;
+    const std::size_t k = parity_a_ ? g_ : q_ - 1;
+    select_.start(arr_.data() + candidate_base(), m, k, Order{desc});
+    psi_applied_ = false;
+  }
+
+  template <typename OnPsi>
+  void advance_selection(OnPsi&& on_psi) {
+    if (select_.done()) return;
+    if (select_.step(step_budget_)) apply_threshold(on_psi);
+  }
+
+  template <typename OnPsi>
+  void apply_threshold(OnPsi&& on_psi) {
+    if (psi_applied_) return;
+    const Value nth = Proj{}(select_.nth());
+    if (nth > psi_) {
+      psi_ = nth;
+      on_psi();
+    }
+    psi_applied_ = true;
+  }
+
+  template <typename OnPsi, typename OnEnd>
+  void end_iteration(OnPsi&& on_psi, OnEnd&& on_end) {
+    if (!select_.done()) {
+      // Safety net: the adversarial-pivot case. Finish synchronously.
+      ++late_selections_;
+      select_.finish();
+    }
+    apply_threshold(on_psi);
+    on_end(parity_a_ ? std::size_t{0} : g_ + q_, g_);
+    parity_a_ = !parity_a_;
+    steps_ = 0;
+    begin_iteration();
+  }
+
+  std::size_t q_ = 0;
+  std::size_t g_ = 0;          // scratch size = iteration length
+  std::vector<Slot> arr_;      // q + 2g slots
+  Value psi_{};
+  bool parity_a_ = true;
+  bool psi_applied_ = false;
+  std::size_t steps_ = 0;      // admissions in the current iteration
+  std::uint64_t step_budget_ = 0;
+  std::uint64_t late_selections_ = 0;
+  Slot empty_{};
+  common::IncrementalSelect<Slot, Order> select_;
+};
+
+// ---------------------------------------------------------------------
+// Maintenance policies
+// ---------------------------------------------------------------------
+
+/// Algorithm 1: worst-case O(1/γ) updates via ParityEngine. Evicts the g
+/// losers in one batch walk at each iteration end.
+template <typename VP>
+struct DeamortizedMaintenance {
+  using EntryT = typename VP::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using EvictCallback = std::function<void(const EntryT&)>;
+
+  struct Options {
+    /// Space-time tradeoff: the array holds ~q(1+γ) items and each update
+    /// performs O(1/γ) work. The paper sweeps γ from 2.5% to 200%.
+    double gamma = 0.25;
+    /// Safety factor on the per-step selection budget. The selection needs
+    /// ~2-3(q+g) expected ops per iteration of g steps; budget_factor
+    /// scales the per-step allowance above that expectation.
+    unsigned budget_factor = 4;
+  };
+
+  /// Gated instruments (zero-size no-ops unless built with
+  /// -DQMAX_TELEMETRY=ON); exported via telemetry::bind_metrics.
+  struct Telemetry {
+    telemetry::Counter psi_updates;        // admission-bound raises
+    telemetry::Counter evict_batches;      // iteration-end batch evictions
+    telemetry::Counter evicted_items;      // items evicted across batches
+    telemetry::Counter batch_calls;        // add_batch invocations
+    telemetry::Counter prefilter_rejected; // items screened out by the Ψ prefilter
+    telemetry::Histogram steps_per_add;    // selection ops per admitted item
+    telemetry::Histogram evict_batch_size; // live items per batch eviction
+    telemetry::Histogram batch_survivors;  // prefilter survivors per add_batch
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("psi_updates", psi_updates);
+      fn("evict_batches", evict_batches);
+      fn("evicted_items", evicted_items);
+      fn("batch_calls", batch_calls);
+      fn("prefilter_rejected", prefilter_rejected);
+      fn("steps_per_add", steps_per_add);
+      fn("evict_batch_size", evict_batch_size);
+      fn("batch_survivors", batch_survivors);
+    }
+    void reset() noexcept {
+      psi_updates.reset();
+      evict_batches.reset();
+      evicted_items.reset();
+      batch_calls.reset();
+      prefilter_rejected.reset();
+      steps_per_add.reset();
+      evict_batch_size.reset();
+      batch_survivors.reset();
+    }
+  };
+
+  struct ValProj {
+    [[nodiscard]] constexpr Value operator()(const EntryT& e) const noexcept {
+      return e.val;
+    }
+  };
+
+  DeamortizedMaintenance(std::size_t q, Options opts, const char* who)
+      : opts_(opts) {
+    common::validate_q_gamma(q, opts.gamma, who);
+    fault::maybe_fail_alloc();
+    eng_.init(q, opts.gamma, opts.budget_factor, EntryT{Id{}, VP::empty()});
+  }
+
+  [[nodiscard]] Value psi() const noexcept { return eng_.psi_; }
+
+  /// The post-admission-test path: scratch write, bounded selection
+  /// advance, iteration end at g steps. The caller has already
+  /// established val > Ψ.
+  void admit(Id id, Value val) {
+    eng_.arr_[eng_.next_slot()] = EntryT{id, val};
+    ++live_;
+    const std::uint64_t delta = eng_.note_admission(
+        [&] { tm_.psi_updates.inc(); },
+        [&](std::size_t lo, std::size_t count) { evict_losers(lo, count); });
+    tm_.steps_per_add.record(delta);
+  }
+
+  /// Visit every live item (the top q plus up to q·γ recent/undecided
+  /// ones): the candidate region plus the filled scratch prefix.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    auto visit = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (eng_.arr_[i].val != VP::empty()) fn(eng_.arr_[i]);
+      }
+    };
+    const std::size_t q = eng_.q_;
+    const std::size_t g = eng_.g_;
+    if (eng_.parity_a_) {
+      visit(0, q + g);                      // candidates
+      visit(q + g, q + g + eng_.steps_);    // filled scratch
+    } else {
+      visit(0, eng_.steps_);                // filled scratch
+      visit(g, eng_.arr_.size());           // candidates
+    }
+  }
+
+  void gather(std::vector<EntryT>& buf) const {
+    buf.clear();
+    for_each_live([&](const EntryT& e) { buf.push_back(e); });
+  }
+
+  void reset() noexcept {
+    eng_.reset();
+    live_ = 0;
+    tm_.reset();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return eng_.arr_.size();
+  }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+  [[nodiscard]] double gamma() const noexcept { return opts_.gamma; }
+  /// Iteration endings where the deamortized selection had not finished
+  /// within its per-step budgets (then completed synchronously; should be
+  /// 0 in practice — exposed for the ablation).
+  [[nodiscard]] std::uint64_t late_selections() const noexcept {
+    return eng_.late_selections_;
+  }
+
+  /// Evict the g candidates that lost the selection. The callback test is
+  /// hoisted out of the loop: the common, callback-free configuration
+  /// pays no per-slot branch.
+  void evict_losers(std::size_t lo, std::size_t count) {
+    std::size_t batch = 0;
+    if (on_evict_) {
+      for (std::size_t i = lo; i < lo + count; ++i) {
+        if (eng_.arr_[i].val != VP::empty()) {
+          on_evict_(eng_.arr_[i]);
+          --live_;
+          ++batch;
+          eng_.arr_[i] = EntryT{Id{}, VP::empty()};
+        }
+      }
+    } else {
+      for (std::size_t i = lo; i < lo + count; ++i) {
+        if (eng_.arr_[i].val != VP::empty()) {
+          --live_;
+          ++batch;
+          eng_.arr_[i] = EntryT{Id{}, VP::empty()};
+        }
+      }
+    }
+    tm_.evict_batches.inc();
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
+  }
+
+  Options opts_{};
+  std::size_t live_ = 0;
+  [[no_unique_address]] Telemetry tm_;
+  EvictCallback on_evict_;
+  ParityEngine<EntryT, typename VP::Order, ValProj> eng_;
+};
+
+/// Algorithm 2: O(1) amortized updates. Admissions append to a free
+/// suffix; when the array reaches q + ⌈qγ⌉ one maintenance pass partitions
+/// at q, raises Ψ to the q-th largest, and batch-evicts the rest.
+template <typename VP>
+struct AmortizedMaintenance {
+  using EntryT = typename VP::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using EvictCallback = std::function<void(const EntryT&)>;
+
+  struct Options {
+    double gamma = 0.25;
+  };
+
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter maintenance_passes;  // full selection sweeps
+    telemetry::Counter evicted_items;
+    telemetry::Counter batch_calls;         // add_batch invocations
+    telemetry::Counter prefilter_rejected;  // items screened out by Ψ
+    telemetry::Histogram evict_batch_size;  // items dropped per sweep
+    telemetry::Histogram batch_survivors;   // prefilter survivors per batch
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("maintenance_passes", maintenance_passes);
+      fn("evicted_items", evicted_items);
+      fn("batch_calls", batch_calls);
+      fn("prefilter_rejected", prefilter_rejected);
+      fn("evict_batch_size", evict_batch_size);
+      fn("batch_survivors", batch_survivors);
+    }
+    void reset() noexcept {
+      maintenance_passes.reset();
+      evicted_items.reset();
+      batch_calls.reset();
+      prefilter_rejected.reset();
+      evict_batch_size.reset();
+      batch_survivors.reset();
+    }
+  };
+
+  AmortizedMaintenance(std::size_t q, Options opts, const char* who)
+      : q_(q) {
+    common::validate_q_gamma(q, opts.gamma, who);
+    fault::maybe_fail_alloc();
+    gamma_ = opts.gamma;
+    std::size_t extra = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * opts.gamma));
+    if (extra == 0) extra = 1;
+    arr_.reserve(q_ + extra);
+    cap_ = q_ + extra;
+  }
+
+  [[nodiscard]] Value psi() const noexcept { return psi_; }
+
+  void admit(Id id, Value val) {
+    arr_.push_back(EntryT{id, val});
+    if (arr_.size() == cap_) maintain();
+  }
+
+  void maintain() {
+    partition_top(arr_.begin(), q_, arr_.end(),
+                  typename VP::Order{.descending = true});
+    psi_ = std::max(psi_, arr_[q_ - 1].val);
+    if (on_evict_) {
+      for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
+    }
+    const std::size_t batch = arr_.size() - q_;
+    tm_.maintenance_passes.inc();
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
+    arr_.resize(q_);
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& e : arr_) fn(e);
+  }
+
+  void gather(std::vector<EntryT>& buf) const {
+    buf.clear();
+    buf.insert(buf.end(), arr_.begin(), arr_.end());
+  }
+
+  void reset() noexcept {
+    arr_.clear();
+    psi_ = VP::empty();
+    tm_.reset();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+  std::size_t q_;
+  double gamma_ = 0.0;
+  std::size_t cap_ = 0;
+  std::vector<EntryT> arr_;
+  Value psi_ = VP::empty();
+  [[no_unique_address]] Telemetry tm_;
+  EvictCallback on_evict_;
+};
+
+// ---------------------------------------------------------------------
+// ReservoirCore
+// ---------------------------------------------------------------------
+
+template <typename ValuePolicy, typename WindowPolicy,
+          typename MaintenancePolicy>
+class ReservoirCore {
+ public:
+  using EntryT = typename ValuePolicy::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using Options = typename MaintenancePolicy::Options;
+  using Telemetry = typename MaintenancePolicy::Telemetry;
+  /// Invoked once per batch-evicted live item (PBA and the LRFU cache use
+  /// this to keep their side tables in sync with the reservoir).
+  using EvictCallback = typename MaintenancePolicy::EvictCallback;
+
+  /// `who` names the concrete variant in validation messages ("QMax: q
+  /// must be positive"); the maintenance ctor validates (q, γ) and hosts
+  /// the allocation-failure fault site before any allocation.
+  ReservoirCore(std::size_t q, Options opts, WindowPolicy window,
+                const char* who)
+      : q_(q), window_(window), maint_(q, opts, who) {
+    // Working buffers are sized up front so neither the first query() nor
+    // the first add_batch() allocates mid-measurement.
+    scratch_.reserve(maint_.capacity());
+    batch_idx_.resize(batch::kPrefilterBlock);
+    if constexpr (!WindowPolicy::kIdentity) {
+      batch_ids_.resize(batch::kPrefilterBlock);
+      batch_keys_.resize(batch::kPrefilterBlock);
+    }
+  }
+
+  /// Report a stream item. Returns true if it was admitted into the array
+  /// (false: it was below the admission bound Ψ and cannot be in the top
+  /// q, or its value is inadmissible — NaN / the reserved empty value /
+  /// rejected by the window transform).
+  bool add(Id id, Value val) {
+    [[maybe_unused]] const std::uint64_t idx = processed_++;
+    val = fault::corrupt_value(val);
+    if constexpr (!WindowPolicy::kIdentity) {
+      if (!window_.transform(val, idx)) return false;
+    }
+    if (!ValuePolicy::admissible(val) || !(val > maint_.psi())) return false;
+    ++admitted_;
+    maint_.admit(id, val);
+    return true;
+  }
+
+  /// Report `n` stream items at once. Equivalent to calling add() on each
+  /// (ids[i], vals[i]) pair in order — same Ψ trajectory, same eviction
+  /// points and callback sequence, same query results — but items at or
+  /// below Ψ (the common case once the bound converges) cost one
+  /// branch-free comparison instead of a full call. Under a non-identity
+  /// window the keys of each run are computed up front with the item's
+  /// absolute arrival index, then the run rides the same screened path.
+  /// Returns the number of admitted items.
+  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
+    if constexpr (WindowPolicy::kIdentity) {
+      return add_screened(ids, vals, n);
+    } else {
+      const std::uint64_t t0 = processed_;
+      std::size_t admitted_in_batch = 0;
+      for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+        const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+        std::size_t valid = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          Value v = vals[base + j];
+          if (!window_.transform(v, t0 + base + j)) continue;
+          batch_ids_[valid] = ids[base + j];
+          batch_keys_[valid] = v;
+          ++valid;
+        }
+        admitted_in_batch +=
+            add_screened(batch_ids_.data(), batch_keys_.data(), valid);
+      }
+      // Every item consumes one arrival index whether or not the window
+      // transform accepted it, exactly like the scalar early-return.
+      processed_ = t0 + n;
+      return admitted_in_batch;
+    }
+  }
+
+  /// add_batch over pre-paired entries (the window variants feed their
+  /// merge buffers through this overload). Identity windows only: entry
+  /// values are already in the reservoir's key domain.
+  std::size_t add_batch(std::span<const EntryT> items)
+    requires(WindowPolicy::kIdentity)
+  {
+    const std::size_t n = items.size();
+    processed_ += n;
+    maint_.tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t survivors_in_batch = 0;
+    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+      const std::size_t survivors = batch::prefilter_above(
+          items.data() + base, m, maint_.psi(), batch_idx_.data());
+      maint_.tm_.prefilter_rejected.inc(m - survivors);
+      survivors_in_batch += survivors;
+      for (std::size_t s = 0; s < survivors; ++s) {
+        const EntryT& e = items[base + batch_idx_[s]];
+        if (!(e.val > maint_.psi())) continue;
+        maint_.admit(e.id, e.val);
+        ++admitted_in_batch;
+      }
+    }
+    admitted_ += admitted_in_batch;
+    maint_.tm_.batch_survivors.record(survivors_in_batch);
+    return admitted_in_batch;
+  }
+
+  /// The current admission bound: a monotone lower bound on the q-th
+  /// largest key processed so far (−∞ until the array first fills).
+  [[nodiscard]] Value threshold() const noexcept { return maint_.psi(); }
+
+  /// Append the q largest live items (fewer if the stream is shorter than
+  /// q) to `out`, unordered. O(capacity) time, non-destructive.
+  void query_into(std::vector<EntryT>& out) const {
+    maint_.gather(scratch_);
+    const std::size_t take = std::min(q_, scratch_.size());
+    if (take == 0) return;
+    if (take < scratch_.size()) {
+      partition_top(scratch_.begin(), take, scratch_.end(),
+                    typename ValuePolicy::Order{.descending = true});
+    }
+    out.insert(out.end(), scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(q_);
+    query_into(out);
+    return out;
+  }
+
+  /// Visit every live item (the top q plus up to q·γ recent/undecided
+  /// ones). Used by tests and by merge operations that can tolerate
+  /// supersets of the top q.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    maint_.for_each_live(std::forward<Fn>(fn));
+  }
+
+  /// Forget everything; equivalent to a freshly constructed instance.
+  /// O(capacity) — the sliding-window algorithms reset one block per
+  /// W·τ items, keeping the amortized cost constant.
+  void reset() noexcept {
+    maint_.reset();
+    processed_ = 0;
+    admitted_ = 0;
+  }
+
+  void set_evict_callback(EvictCallback cb) {
+    maint_.on_evict_ = std::move(cb);
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] double gamma() const noexcept { return maint_.gamma(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return maint_.capacity();
+  }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return maint_.live_count();
+  }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  /// Deamortized maintenance only (absent otherwise, so duck-typed
+  /// telemetry binding skips it on amortized variants).
+  [[nodiscard]] std::uint64_t late_selections() const noexcept
+    requires requires(const MaintenancePolicy& m) { m.late_selections(); }
+  {
+    return maint_.late_selections();
+  }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return maint_.tm_; }
+  [[nodiscard]] const WindowPolicy& window_policy() const noexcept {
+    return window_;
+  }
+
+ private:
+  friend struct ::qmax::InvariantAccess;
+
+  /// The identity-domain screened ingestion shared by both maintenance
+  /// policies and both batch entry points: a whole-lane reject test
+  /// against the *live* Ψ skips 16-item runs of rejected items with a few
+  /// packed compares; surviving lanes run the exact scalar admission code
+  /// item by item, so maintenance fires at exactly the scalar points and
+  /// a Ψ raised mid-lane immediately tightens both the item test and the
+  /// next lane's screen. (The screen is conservative the other way too:
+  /// Ψ is monotone, so a lane rejected against the current bound could
+  /// never have produced an admission later in the batch.)
+  std::size_t add_screened(const Id* ids, const Value* vals, std::size_t n) {
+    processed_ += n;
+    maint_.tm_.batch_calls.inc();
+    std::size_t admitted_in_batch = 0;
+    std::size_t screened = 0;
+    std::size_t j = 0;
+    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
+      if (!batch::lane_any_above(vals + j, maint_.psi())) {
+        screened += batch::kScreenLane;
+        continue;
+      }
+      // Walk only the set bits. The mask is a snapshot, so each candidate
+      // is re-tested against the live Ψ before admission (a Ψ raised by a
+      // mid-lane admit rejects exactly the items scalar add() would).
+      unsigned mask = batch::lane_mask_above(vals + j, maint_.psi());
+      while (mask != 0) {
+        const std::size_t k =
+            j + static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        if (!(vals[k] > maint_.psi())) continue;
+        maint_.admit(ids[k], vals[k]);
+        ++admitted_in_batch;
+      }
+    }
+    for (; j < n; ++j) {
+      if (!(vals[j] > maint_.psi())) {
+        ++screened;
+        continue;
+      }
+      maint_.admit(ids[j], vals[j]);
+      ++admitted_in_batch;
+    }
+    admitted_ += admitted_in_batch;
+    maint_.tm_.prefilter_rejected.inc(screened);
+    maint_.tm_.batch_survivors.record(n - screened);
+    return admitted_in_batch;
+  }
+
+  std::size_t q_;
+  [[no_unique_address]] WindowPolicy window_;
+  MaintenancePolicy maint_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t admitted_ = 0;
+  mutable std::vector<EntryT> scratch_;   // query gather buffer (reused)
+  std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
+  std::vector<Id> batch_ids_;             // non-identity windows: valid-item
+  std::vector<Value> batch_keys_;         //   compaction scratch per run
+};
+
+// ---------------------------------------------------------------------
+// BlockRing — the cyclic block store behind the window containers
+// ---------------------------------------------------------------------
+
+/// A ring of per-block reservoirs tagged with the absolute start index of
+/// the block each slot currently holds. SlackQMax keeps one ring per
+/// level (count-based blocks); TimeSlackQMax keeps one ring over the time
+/// axis. Entering a block whose tag disagrees recycles the slot (reset +
+/// retag); reads require an exact tag match, so stale slots are invisible
+/// until overwritten.
+template <typename R>
+class BlockRing {
+ public:
+  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+
+  BlockRing() = default;
+
+  template <typename Factory>
+  void init(std::uint64_t block_size, std::uint64_t num_blocks,
+            const Factory& factory) {
+    block_size_ = block_size;
+    blocks_.clear();
+    blocks_.reserve(num_blocks);
+    for (std::uint64_t i = 0; i < num_blocks; ++i) {
+      blocks_.push_back(factory());
+    }
+    start_.assign(num_blocks, kNoBlock);
+  }
+
+  /// The reservoir for absolute block index `idx`, recycling the ring
+  /// slot (reset + retag, then on_recycle for telemetry) when it still
+  /// holds an older block.
+  template <typename OnRecycle>
+  R& at(std::uint64_t idx, OnRecycle&& on_recycle) {
+    const std::uint64_t slot = idx % start_.size();
+    const std::uint64_t bstart = idx * block_size_;
+    if (start_[slot] != bstart) {
+      blocks_[slot].reset();
+      start_[slot] = bstart;
+      on_recycle();
+    }
+    return blocks_[slot];
+  }
+
+  /// The reservoir for block `idx` iff the ring still holds it.
+  [[nodiscard]] const R* find(std::uint64_t idx) const {
+    const std::uint64_t slot = idx % start_.size();
+    if (start_[slot] != idx * block_size_) return nullptr;
+    return &blocks_[slot];
+  }
+
+  void reset_all() {
+    start_.assign(start_.size(), kNoBlock);
+    for (R& b : blocks_) b.reset();
+  }
+
+  [[nodiscard]] std::uint64_t block_size() const noexcept {
+    return block_size_;
+  }
+  [[nodiscard]] std::uint64_t num_blocks() const noexcept {
+    return start_.size();
+  }
+  [[nodiscard]] const std::vector<R>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& start_tags() const noexcept {
+    return start_;
+  }
+
+ private:
+  std::uint64_t block_size_ = 1;
+  std::vector<R> blocks_;
+  std::vector<std::uint64_t> start_;  // absolute start index tag per slot
+};
+
+}  // namespace qmax::core

@@ -12,19 +12,21 @@
 // c = 1 recovers plain q-MAX (on log-values); smaller c weighs recency
 // more. The LRFU cache (src/cache/) builds on the same log-domain trick
 // with per-key score aggregation.
+//
+// Policy composition over core::ReservoirCore:
+//   MaxValuePolicy × ExpDecayWindow × DeamortizedMaintenance.
+// The window policy performs the log-domain keying (and the
+// positive-finite admission test) inside the core's add/add_batch paths;
+// this wrapper only un-shifts query results back to the present.
 #pragma once
 
-#include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
 
-#include "common/fault.hpp"
 #include "common/validate.hpp"
-#include "qmax/batch.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
-#include "qmax/qmax.hpp"
 
 namespace qmax {
 
@@ -32,54 +34,31 @@ template <typename Id = std::uint64_t>
 class ExpDecayQMax {
  public:
   using EntryT = BasicEntry<Id, double>;
+  using Core =
+      core::ReservoirCore<core::MaxValuePolicy<Id, double>,
+                          core::ExpDecayWindow,
+                          core::DeamortizedMaintenance<
+                              core::MaxValuePolicy<Id, double>>>;
 
   /// @param q      reservoir size
   /// @param decay  the aging parameter c ∈ (0, 1]
   /// @param gamma  q-MAX space-time tradeoff
   ExpDecayQMax(std::size_t q, double decay, double gamma = 0.25)
-      : inner_((common::validate_q_gamma(q, gamma, "ExpDecayQMax"), q), gamma),
-        log_c_(std::log(
-            common::validate_unit_interval(decay, "ExpDecayQMax", "decay"))) {
-    batch_ids_.resize(batch::kPrefilterBlock);
-    batch_keys_.resize(batch::kPrefilterBlock);
-  }
+      : inner_(q, typename Core::Options{.gamma = gamma},
+               make_window(q, decay, gamma), "ExpDecayQMax") {}
 
   /// Report an item with positive weight `val`; arrival index is the
   /// logical time. Returns false if the item cannot be among the q
   /// heaviest (or val is not a positive finite number).
-  bool add(Id id, double val) {
-    const std::uint64_t i = t_++;
-    val = fault::corrupt_value(val);
-    if (!(val > 0.0) || !std::isfinite(val)) return false;
-    const double keyed = std::log(val) - static_cast<double>(i) * log_c_;
-    return inner_.add(id, keyed);
-  }
+  bool add(Id id, double val) { return inner_.add(id, val); }
 
   /// Report `n` items at once; equivalent to n in-order add() calls —
   /// every item consumes one time index whether or not its weight is a
-  /// positive finite number (invalid ones are dropped before the inner
-  /// reservoir, exactly like the scalar early-return). The log-domain keys
-  /// of each run are computed up front with the item's absolute arrival
-  /// index (the per-run decay shift), then the run rides the inner
-  /// reservoir's Ψ-prefiltered batch path. Returns the admitted count.
+  /// positive finite number (invalid ones are dropped before the slot
+  /// array, exactly like the scalar early-return). Returns the admitted
+  /// count.
   std::size_t add_batch(const Id* ids, const double* vals, std::size_t n) {
-    std::size_t admitted = 0;
-    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
-      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
-      std::size_t valid = 0;
-      for (std::size_t j = 0; j < m; ++j) {
-        const double v = vals[base + j];
-        if (!(v > 0.0) || !std::isfinite(v)) continue;
-        batch_ids_[valid] = ids[base + j];
-        batch_keys_[valid] =
-            std::log(v) - static_cast<double>(t_ + base + j) * log_c_;
-        ++valid;
-      }
-      admitted += inner_.add_batch(batch_ids_.data(), batch_keys_.data(),
-                                   valid);
-    }
-    t_ += n;
-    return admitted;
+    return inner_.add_batch(ids, vals, n);
   }
 
   /// The q items with the largest decayed weight val·c^(t−i), reported
@@ -95,33 +74,39 @@ class ExpDecayQMax {
   [[nodiscard]] std::vector<EntryT> query_log() const {
     std::vector<EntryT> out;
     inner_.query_into(out);
-    const double now_shift = static_cast<double>(t_) * log_c_;
+    const double now_shift =
+        static_cast<double>(inner_.processed()) * inner_.window_policy().log_c;
     for (EntryT& e : out) e.val += now_shift;
     return out;
   }
 
-  void reset() {
-    inner_.reset();
-    t_ = 0;
-  }
+  void reset() { inner_.reset(); }
 
   [[nodiscard]] std::size_t q() const noexcept { return inner_.q(); }
   [[nodiscard]] std::size_t live_count() const noexcept {
     return inner_.live_count();
   }
-  [[nodiscard]] std::uint64_t processed() const noexcept { return t_; }
-  [[nodiscard]] double decay() const noexcept { return std::exp(log_c_); }
-
-  [[nodiscard]] const QMax<Id, double>& inner() const noexcept {
-    return inner_;
+  [[nodiscard]] std::uint64_t processed() const noexcept {
+    return inner_.processed();
+  }
+  [[nodiscard]] double decay() const noexcept {
+    return std::exp(inner_.window_policy().log_c);
   }
 
+  [[nodiscard]] const Core& inner() const noexcept { return inner_; }
+
  private:
-  QMax<Id, double> inner_;
-  double log_c_;
-  std::uint64_t t_ = 0;
-  std::vector<Id> batch_ids_;        // valid-item compaction scratch
-  std::vector<double> batch_keys_;   // log-domain keys per run
+  /// Preserves the pre-core validation order — (q, γ) first, then decay —
+  /// so error messages are stable; the core re-validates (q, γ)
+  /// idempotently.
+  static core::ExpDecayWindow make_window(std::size_t q, double decay,
+                                          double gamma) {
+    common::validate_q_gamma(q, gamma, "ExpDecayQMax");
+    return {std::log(
+        common::validate_unit_interval(decay, "ExpDecayQMax", "decay"))};
+  }
+
+  Core inner_;
 };
 
 }  // namespace qmax

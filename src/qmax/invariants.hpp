@@ -9,6 +9,15 @@
 // of them directly against the private state of a live instance, in
 // O(capacity) time, without mutating it.
 //
+// Since every variant is a policy composition over core::ReservoirCore,
+// the core is audited ONCE (one template, dispatching on the maintenance
+// policy); the window containers add their per-policy geometry checks on
+// top and recurse into their per-block cores. The Theorem 1 check keeps
+// its own independent nth_element as a cross-check oracle — deliberately
+// NOT core::partition_top, so the audit does not share code with the
+// machinery it verifies (scripts/check_no_duplicate_selection.sh
+// allowlists this file for that reason).
+//
 // Intended consumers: unit tests after every metamorphic step, the
 // fault-injection soak (audit after every maintenance phase while
 // faults fire), and interactive debugging. Audits are deliberately not
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "qmax/amortized_qmax.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/exp_decay.hpp"
 #include "qmax/qmax.hpp"
@@ -68,6 +78,12 @@ inline constexpr bool is_amortized_v = false;
 template <typename Id, typename V>
 inline constexpr bool is_amortized_v<AmortizedQMax<Id, V>> = true;
 
+template <typename>
+inline constexpr bool is_deamortized_maintenance_v = false;
+template <typename VP>
+inline constexpr bool
+    is_deamortized_maintenance_v<core::DeamortizedMaintenance<VP>> = true;
+
 template <typename V>
 [[nodiscard]] constexpr bool is_nan(V v) noexcept {
   if constexpr (std::is_floating_point_v<V>) {
@@ -84,110 +100,113 @@ template <typename V>
 /// that read private state. Use the free check_invariants() overloads
 /// below unless composing audits with a shared AuditResult.
 struct InvariantAccess {
-  // ---- QMax: deamortized Algorithm 1 ---------------------------------
-  template <typename Id, typename V>
-  static void audit(const QMax<Id, V>& r, AuditResult& a,
+  // ---- ReservoirCore: the shared engine, audited once ----------------
+  // Common accounting invariants plus the maintenance-policy-specific
+  // structure (Algorithm 1's parity array or Algorithm 2's suffix array).
+  template <typename VP, typename WP, typename MP>
+  static void audit(const core::ReservoirCore<VP, WP, MP>& r, AuditResult& a,
                     const std::string& ctx = {}) {
     using invariant_detail::is_nan;
-    const std::size_t n = r.arr_.size();
-    a.expect(r.g_ >= 1, ctx + "g must be at least 1");
-    a.expect(n == r.q_ + 2 * r.g_,
-             ctx + "array must hold exactly q + 2g slots");
-    a.expect(r.steps_ < r.g_,
-             ctx + "steps must stay below g between updates");
+    using V = typename core::ReservoirCore<VP, WP, MP>::Value;
+    const auto& m = r.maint_;
 
-    // Unfilled scratch slots must still be empty: admissions write the
-    // scratch region strictly left to right.
-    const std::size_t sb = r.scratch_base();
-    for (std::size_t i = sb + r.steps_; i < sb + r.g_ && i < n; ++i) {
-      a.expect(r.arr_[i].val == kEmptyValue<V>,
-               ctx + "unfilled scratch slot " + std::to_string(i) +
-                   " is not empty");
-    }
+    if constexpr (invariant_detail::is_deamortized_maintenance_v<MP>) {
+      // -- Algorithm 1: parity array + incremental selection --
+      const auto& eng = m.eng_;
+      const std::size_t n = eng.arr_.size();
+      a.expect(eng.g_ >= 1, ctx + "g must be at least 1");
+      a.expect(n == r.q_ + 2 * eng.g_,
+               ctx + "array must hold exactly q + 2g slots");
+      a.expect(eng.steps_ < eng.g_,
+               ctx + "steps must stay below g between updates");
 
-    std::size_t live = 0;
-    bool nan_found = false;
-    for (const auto& e : r.arr_) {
-      if (is_nan(e.val)) nan_found = true;
-      if (e.val != kEmptyValue<V>) ++live;
-    }
-    a.expect(!nan_found, ctx + "NaN value stored in the array");
-    a.expect(live == r.live_,
-             ctx + "live counter (" + std::to_string(r.live_) +
-                 ") disagrees with occupied slots (" + std::to_string(live) +
-                 ")");
-    a.expect(!is_nan(r.psi_), ctx + "admission bound is NaN");
-
-    // Theorem 1 core: Ψ never exceeds the q-th largest retained value,
-    // so evicting items at or below Ψ can never touch the true top q.
-    if (live >= r.q_) {
-      std::vector<V> vals;
-      vals.reserve(live);
-      for (const auto& e : r.arr_) {
-        if (e.val != kEmptyValue<V>) vals.push_back(e.val);
+      // Unfilled scratch slots must still be empty: admissions write the
+      // scratch region strictly left to right.
+      const std::size_t sb = eng.scratch_base();
+      for (std::size_t i = sb + eng.steps_; i < sb + eng.g_ && i < n; ++i) {
+        a.expect(eng.arr_[i].val == kEmptyValue<V>,
+                 ctx + "unfilled scratch slot " + std::to_string(i) +
+                     " is not empty");
       }
-      std::nth_element(vals.begin(),
-                       vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
-                       vals.end(), std::greater<V>{});
-      a.expect(!(vals[r.q_ - 1] < r.psi_),
-               ctx + "admission bound exceeds the q-th largest live value");
+
+      std::size_t live = 0;
+      bool nan_found = false;
+      for (const auto& e : eng.arr_) {
+        if (is_nan(e.val)) nan_found = true;
+        if (e.val != kEmptyValue<V>) ++live;
+      }
+      a.expect(!nan_found, ctx + "NaN value stored in the array");
+      a.expect(live == m.live_,
+               ctx + "live counter (" + std::to_string(m.live_) +
+                   ") disagrees with occupied slots (" + std::to_string(live) +
+                   ")");
+      a.expect(!is_nan(eng.psi_), ctx + "admission bound is NaN");
+
+      // Theorem 1 core: Ψ never exceeds the q-th largest retained value,
+      // so evicting items at or below Ψ can never touch the true top q.
+      if (live >= r.q_) {
+        std::vector<V> vals;
+        vals.reserve(live);
+        for (const auto& e : eng.arr_) {
+          if (e.val != kEmptyValue<V>) vals.push_back(e.val);
+        }
+        std::nth_element(vals.begin(),
+                         vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
+                         vals.end(), std::greater<V>{});
+        a.expect(!(vals[r.q_ - 1] < eng.psi_),
+                 ctx + "admission bound exceeds the q-th largest live value");
+      } else {
+        a.expect(eng.psi_ == kEmptyValue<V>,
+                 ctx + "admission bound raised before q items were retained");
+      }
+
+      a.expect(m.live_ <= r.admitted_, ctx + "live exceeds admitted");
+
+      // Theorem 2 (deamortization debt): each admitted item advances the
+      // selection by at most step_budget_ ops plus the bounded pivot
+      // overshoot (+16, see IncrementalSelect::step), and start() zeroes
+      // the op counter — so mid-iteration debt is bounded by the steps
+      // taken so far.
+      a.expect(eng.select_.total_ops() <=
+                   static_cast<std::uint64_t>(eng.steps_) *
+                       (eng.step_budget_ + 16),
+               ctx + "selection work exceeds the per-step budget bound");
     } else {
-      a.expect(r.psi_ == kEmptyValue<V>,
-               ctx + "admission bound raised before q items were retained");
+      // -- Algorithm 2: append + periodic maintenance pass --
+      a.expect(m.cap_ > r.q_, ctx + "capacity must exceed q");
+      a.expect(m.arr_.size() < m.cap_,
+               ctx + "array must sit below capacity between updates");
+
+      bool nan_found = false;
+      bool empty_found = false;
+      for (const auto& e : m.arr_) {
+        if (is_nan(e.val)) nan_found = true;
+        if (e.val == kEmptyValue<V>) empty_found = true;
+      }
+      a.expect(!nan_found, ctx + "NaN value stored in the array");
+      a.expect(!empty_found,
+               ctx + "reserved empty value stored as a live item");
+      a.expect(!is_nan(m.psi_), ctx + "admission bound is NaN");
+
+      if (m.psi_ != kEmptyValue<V>) {
+        a.expect(m.arr_.size() >= r.q_,
+                 ctx + "admission bound raised before q items were retained");
+      }
+      if (m.arr_.size() >= r.q_) {
+        std::vector<V> vals;
+        vals.reserve(m.arr_.size());
+        for (const auto& e : m.arr_) vals.push_back(e.val);
+        std::nth_element(vals.begin(),
+                         vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
+                         vals.end(), std::greater<V>{});
+        a.expect(!(vals[r.q_ - 1] < m.psi_),
+                 ctx + "admission bound exceeds the q-th largest live value");
+      }
+
+      a.expect(m.arr_.size() <= r.admitted_, ctx + "live exceeds admitted");
     }
 
-    a.expect(r.admitted_ <= r.processed_,
-             ctx + "admitted exceeds processed");
-    a.expect(r.live_ <= r.admitted_, ctx + "live exceeds admitted");
-
-    // Theorem 2 (deamortization debt): each admitted item advances the
-    // selection by at most step_budget_ ops plus the bounded pivot
-    // overshoot (+16, see IncrementalSelect::step), and start() zeroes
-    // the op counter — so mid-iteration debt is bounded by the steps
-    // taken so far.
-    a.expect(r.select_.total_ops() <=
-                 static_cast<std::uint64_t>(r.steps_) * (r.step_budget_ + 16),
-             ctx + "selection work exceeds the per-step budget bound");
-  }
-
-  // ---- AmortizedQMax: Section 4.2 batch variant ----------------------
-  template <typename Id, typename V>
-  static void audit(const AmortizedQMax<Id, V>& r, AuditResult& a,
-                    const std::string& ctx = {}) {
-    using invariant_detail::is_nan;
-    a.expect(r.cap_ > r.q_, ctx + "capacity must exceed q");
-    a.expect(r.arr_.size() < r.cap_,
-             ctx + "array must sit below capacity between updates");
-
-    bool nan_found = false;
-    bool empty_found = false;
-    for (const auto& e : r.arr_) {
-      if (is_nan(e.val)) nan_found = true;
-      if (e.val == kEmptyValue<V>) empty_found = true;
-    }
-    a.expect(!nan_found, ctx + "NaN value stored in the array");
-    a.expect(!empty_found,
-             ctx + "reserved empty value stored as a live item");
-    a.expect(!is_nan(r.psi_), ctx + "admission bound is NaN");
-
-    if (r.psi_ != kEmptyValue<V>) {
-      a.expect(r.arr_.size() >= r.q_,
-               ctx + "admission bound raised before q items were retained");
-    }
-    if (r.arr_.size() >= r.q_) {
-      std::vector<V> vals;
-      vals.reserve(r.arr_.size());
-      for (const auto& e : r.arr_) vals.push_back(e.val);
-      std::nth_element(vals.begin(),
-                       vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
-                       vals.end(), std::greater<V>{});
-      a.expect(!(vals[r.q_ - 1] < r.psi_),
-               ctx + "admission bound exceeds the q-th largest live value");
-    }
-
-    a.expect(r.admitted_ <= r.processed_,
-             ctx + "admitted exceeds processed");
-    a.expect(r.arr_.size() <= r.admitted_, ctx + "live exceeds admitted");
+    a.expect(r.admitted_ <= r.processed_, ctx + "admitted exceeds processed");
   }
 
   // ---- SlackQMax: count-based slack windows (Algorithms 3/4, Thm 7) --
@@ -199,36 +218,37 @@ struct InvariantAccess {
     a.expect(r.fine_block_ >= 1, ctx + "finest block size must be >= 1");
     a.expect(c >= 1, ctx + "at least one level required");
     if (c == 0) return;
-    a.expect(levels[c - 1].block_size == r.fine_block_,
+    a.expect(levels[c - 1].block_size() == r.fine_block_,
              ctx + "finest level block size disagrees with W*tau");
 
     for (std::size_t l = 0; l < c; ++l) {
       const auto& lv = levels[l];
       const std::string lctx =
           ctx + "level " + std::to_string(l) + ": ";
-      a.expect(lv.block_size * lv.num_blocks == r.effective_window_,
+      a.expect(lv.block_size() * lv.num_blocks() == r.effective_window_,
                lctx + "blocks do not tile the effective window");
       if (l + 1 < c) {
-        a.expect(lv.block_size == levels[l + 1].block_size * r.branch_,
+        a.expect(lv.block_size() == levels[l + 1].block_size() * r.branch_,
                  lctx + "block size is not branch x the finer level");
       }
-      a.expect(lv.blocks.size() == lv.num_blocks,
+      a.expect(lv.blocks().size() == lv.num_blocks(),
                lctx + "ring holds the wrong number of reservoirs");
-      a.expect(lv.start.size() == lv.num_blocks,
+      a.expect(lv.start_tags().size() == lv.num_blocks(),
                lctx + "tag array size disagrees with the ring");
 
       for (std::size_t slot = 0;
-           slot < lv.start.size() && slot < lv.blocks.size(); ++slot) {
-        const std::uint64_t s = lv.start[slot];
+           slot < lv.start_tags().size() && slot < lv.blocks().size();
+           ++slot) {
+        const std::uint64_t s = lv.start_tags()[slot];
         if (s == SlackQMax<R>::kNoBlock) continue;
         const std::string bctx =
             lctx + "slot " + std::to_string(slot) + ": ";
-        a.expect(s % lv.block_size == 0,
+        a.expect(s % lv.block_size() == 0,
                  bctx + "tag not aligned to the block size");
-        a.expect((s / lv.block_size) % lv.num_blocks == slot,
+        a.expect((s / lv.block_size()) % lv.num_blocks() == slot,
                  bctx + "tag stored in the wrong ring slot");
         a.expect(s < r.t_, bctx + "tag points past the stream");
-        audit_block(lv.blocks[slot], a, bctx);
+        audit_block(lv.blocks()[slot], a, bctx);
       }
     }
 
@@ -247,16 +267,16 @@ struct InvariantAccess {
       // at every level and must have seen every item since its start.
       for (std::size_t l = 0; l < c; ++l) {
         const auto& lv = levels[l];
-        const std::uint64_t idx = (r.t_ - 1) / lv.block_size;
-        const std::uint64_t slot = idx % lv.num_blocks;
-        const std::uint64_t bstart = idx * lv.block_size;
+        const std::uint64_t idx = (r.t_ - 1) / lv.block_size();
+        const std::uint64_t slot = idx % lv.num_blocks();
+        const std::uint64_t bstart = idx * lv.block_size();
         const std::string lctx =
             ctx + "level " + std::to_string(l) + ": ";
-        a.expect(lv.start[slot] == bstart,
+        a.expect(lv.start_tags()[slot] == bstart,
                  lctx + "newest block is not tracked");
-        if (lv.start[slot] == bstart) {
-          if constexpr (requires { lv.blocks[slot].processed(); }) {
-            a.expect(lv.blocks[slot].processed() == r.t_ - bstart,
+        if (lv.start_tags()[slot] == bstart) {
+          if constexpr (requires { lv.blocks()[slot].processed(); }) {
+            a.expect(lv.blocks()[slot].processed() == r.t_ - bstart,
                      lctx + "newest block missed items since its start");
           }
         }
@@ -268,31 +288,34 @@ struct InvariantAccess {
   template <typename R>
   static void audit(const TimeSlackQMax<R>& r, AuditResult& a,
                     const std::string& ctx = {}) {
-    a.expect(r.block_span_ >= 1, ctx + "block span must be >= 1");
-    a.expect(r.num_blocks_ ==
-                 (r.window_ + r.block_span_ - 1) / r.block_span_ + 1,
+    const auto& ring = r.ring_;
+    a.expect(ring.block_size() >= 1, ctx + "block span must be >= 1");
+    a.expect(ring.num_blocks() ==
+                 (r.window_ + ring.block_size() - 1) / ring.block_size() + 1,
              ctx + "ring length disagrees with the window geometry");
-    a.expect(r.blocks_.size() == r.num_blocks_,
+    a.expect(ring.blocks().size() == ring.num_blocks(),
              ctx + "ring holds the wrong number of reservoirs");
-    a.expect(r.start_.size() == r.num_blocks_,
+    a.expect(ring.start_tags().size() == ring.num_blocks(),
              ctx + "tag array size disagrees with the ring");
 
     for (std::size_t slot = 0;
-         slot < r.start_.size() && slot < r.blocks_.size(); ++slot) {
-      const std::uint64_t s = r.start_[slot];
+         slot < ring.start_tags().size() && slot < ring.blocks().size();
+         ++slot) {
+      const std::uint64_t s = ring.start_tags()[slot];
       if (s == TimeSlackQMax<R>::kNoBlock) continue;
       const std::string bctx = ctx + "slot " + std::to_string(slot) + ": ";
-      a.expect(s % r.block_span_ == 0,
+      a.expect(s % ring.block_size() == 0,
                bctx + "tag not aligned to the block span");
-      a.expect((s / r.block_span_) % r.num_blocks_ == slot,
+      a.expect((s / ring.block_size()) % ring.num_blocks() == slot,
                bctx + "tag stored in the wrong ring slot");
       a.expect(s <= r.now_, bctx + "tag points past the newest timestamp");
-      audit_block(r.blocks_[slot], a, bctx);
+      audit_block(ring.blocks()[slot], a, bctx);
     }
 
     if (r.processed_ > 0) {
-      const std::uint64_t idx = r.now_ / r.block_span_;
-      a.expect(r.start_[idx % r.num_blocks_] == idx * r.block_span_,
+      const std::uint64_t idx = r.now_ / ring.block_size();
+      a.expect(ring.start_tags()[idx % ring.num_blocks()] ==
+                   idx * ring.block_size(),
                ctx + "block of the newest item is not tracked");
     }
   }
@@ -319,15 +342,11 @@ struct InvariantAccess {
 
 // ---- Free entry points ----------------------------------------------
 
-template <typename Id, typename V>
-[[nodiscard]] AuditResult check_invariants(const QMax<Id, V>& r) {
-  AuditResult a;
-  InvariantAccess::audit(r, a);
-  return a;
-}
-
-template <typename Id, typename V>
-[[nodiscard]] AuditResult check_invariants(const AmortizedQMax<Id, V>& r) {
+/// Covers every policy composition: QMax, AmortizedQMax, and the
+/// ExpDecay inner core all deduce to their ReservoirCore base.
+template <typename VP, typename WP, typename MP>
+[[nodiscard]] AuditResult check_invariants(
+    const core::ReservoirCore<VP, WP, MP>& r) {
   AuditResult a;
   InvariantAccess::audit(r, a);
   return a;
@@ -347,8 +366,8 @@ template <typename R>
   return a;
 }
 
-/// ExpDecayQMax needs no friendship: its inner reservoir is public and
-/// holds all the interesting state (the wrapper only shifts the domain).
+/// ExpDecayQMax needs no friendship: its inner core is public and holds
+/// all the interesting state (the wrapper only shifts the domain).
 template <typename Id>
 [[nodiscard]] AuditResult check_invariants(const ExpDecayQMax<Id>& r) {
   AuditResult a;

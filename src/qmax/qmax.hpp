@@ -22,386 +22,42 @@
 // Invariant: an item is evicted only while q candidates at least as large
 // coexist in the array, so the true top-q of the processed prefix always
 // survives — query() is exact, not approximate.
+//
+// All of the machinery lives in core::ReservoirCore (the parity engine,
+// admission gate, batch screen, telemetry, fault sites, reset); this class
+// is the policy composition that names the variant:
+//   MaxValuePolicy × LandmarkWindow × DeamortizedMaintenance.
 #pragma once
 
-#include <algorithm>
-#include <bit>
-#include <cassert>
-#include <cmath>
-#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <span>
-#include <stdexcept>
-#include <vector>
 
-#include "common/fault.hpp"
-#include "common/select.hpp"
-#include "common/validate.hpp"
-#include "qmax/batch.hpp"
-#include "qmax/entry.hpp"
-#include "telemetry/counters.hpp"
-#include "telemetry/histogram.hpp"
+#include "qmax/core.hpp"
 
 namespace qmax {
 
-struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
+namespace detail {
+template <typename Id, typename Value>
+using QMaxBase =
+    core::ReservoirCore<core::MaxValuePolicy<Id, Value>, core::LandmarkWindow,
+                        core::DeamortizedMaintenance<
+                            core::MaxValuePolicy<Id, Value>>>;
+}  // namespace detail
 
 template <typename Id = std::uint64_t, typename Value = double>
-class QMax {
+class QMax : public detail::QMaxBase<Id, Value> {
+  using Base = detail::QMaxBase<Id, Value>;
+
  public:
-  using EntryT = BasicEntry<Id, Value>;
-  /// Invoked once per batch-evicted live item (PBA and the LRFU cache use
-  /// this to keep their side tables in sync with the reservoir).
-  using EvictCallback = std::function<void(const EntryT&)>;
+  using EntryT = typename Base::EntryT;
+  using EvictCallback = typename Base::EvictCallback;
+  using Options = typename Base::Options;
+  using Telemetry = typename Base::Telemetry;
 
-  struct Options {
-    /// Space-time tradeoff: the array holds ~q(1+γ) items and each update
-    /// performs O(1/γ) work. The paper sweeps γ from 2.5% to 200%.
-    double gamma = 0.25;
-    /// Safety factor on the per-step selection budget. The selection needs
-    /// ~2-3(q+g) expected ops per iteration of g steps; budget_factor
-    /// scales the per-step allowance above that expectation.
-    unsigned budget_factor = 4;
-  };
-
-  /// Gated instruments (zero-size no-ops unless built with
-  /// -DQMAX_TELEMETRY=ON); exported via telemetry::bind_metrics.
-  struct Telemetry {
-    telemetry::Counter psi_updates;        // admission-bound raises
-    telemetry::Counter evict_batches;      // iteration-end batch evictions
-    telemetry::Counter evicted_items;      // items evicted across batches
-    telemetry::Counter batch_calls;        // add_batch invocations
-    telemetry::Counter prefilter_rejected; // items screened out by the Ψ prefilter
-    telemetry::Histogram steps_per_add;    // selection ops per admitted item
-    telemetry::Histogram evict_batch_size; // live items per batch eviction
-    telemetry::Histogram batch_survivors;  // prefilter survivors per add_batch
-
-    template <typename Fn>
-    void visit(Fn&& fn) const {
-      fn("psi_updates", psi_updates);
-      fn("evict_batches", evict_batches);
-      fn("evicted_items", evicted_items);
-      fn("batch_calls", batch_calls);
-      fn("prefilter_rejected", prefilter_rejected);
-      fn("steps_per_add", steps_per_add);
-      fn("evict_batch_size", evict_batch_size);
-      fn("batch_survivors", batch_survivors);
-    }
-    void reset() noexcept {
-      psi_updates.reset();
-      evict_batches.reset();
-      evicted_items.reset();
-      batch_calls.reset();
-      prefilter_rejected.reset();
-      steps_per_add.reset();
-      evict_batch_size.reset();
-      batch_survivors.reset();
-    }
-  };
-
-  explicit QMax(std::size_t q, double gamma) : QMax(q, Options{.gamma = gamma}) {}
+  explicit QMax(std::size_t q, double gamma)
+      : QMax(q, Options{.gamma = gamma}) {}
 
   explicit QMax(std::size_t q, Options opts = {})
-      : q_(q), opts_(opts) {
-    common::validate_q_gamma(q, opts.gamma, "QMax");
-    fault::maybe_fail_alloc();
-    g_ = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(q) * opts.gamma / 2.0));
-    if (g_ == 0) g_ = 1;
-    arr_.resize(q_ + 2 * g_, EntryT{Id{}, kEmptyValue<Value>});
-    const std::size_t m = q_ + g_;
-    step_budget_ = static_cast<std::uint64_t>(opts.budget_factor) *
-                       ((m + g_ - 1) / g_) +
-                   opts.budget_factor;
-    // Working buffers are sized up front so neither the first query() nor
-    // the first add_batch() allocates mid-measurement.
-    scratch_.reserve(arr_.size());
-    batch_idx_.resize(batch::kPrefilterBlock);
-    begin_iteration();
-  }
-
-  /// Report a stream item. Returns true if it was admitted into the array
-  /// (false: it was below the admission bound Ψ and cannot be in the top q,
-  /// or its value is inadmissible — NaN / the reserved empty value).
-  bool add(Id id, Value val) {
-    ++processed_;
-    val = fault::corrupt_value(val);
-    if (!is_admissible_value(val) || !(val > psi_)) return false;
-    ++admitted_;
-    admit(id, val);
-    return true;
-  }
-
-  /// Report `n` stream items at once. Equivalent to calling add() on each
-  /// (ids[i], vals[i]) pair in order — same Ψ trajectory, same eviction
-  /// points and callback sequence, same query results — but items at or
-  /// below Ψ (the common case once the bound converges) cost one
-  /// branch-free comparison instead of a full call. Returns the number of
-  /// admitted items.
-  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
-    processed_ += n;
-    tm_.batch_calls.inc();
-    std::size_t admitted_in_batch = 0;
-    std::size_t screened = 0;
-    std::size_t j = 0;
-    // Whole-lane reject test against the *live* Ψ: when every value in a
-    // 16-item lane is at or below the bound, the lane is skipped with a
-    // handful of packed compares and no per-item work. A surviving lane
-    // runs the exact scalar admission code item by item, so iteration
-    // endings and batch evictions fire inside admit() at exactly
-    // steps == g — the same points as n scalar add() calls — and a Ψ
-    // raised mid-lane immediately tightens both the item test and the
-    // next lane's screen. (The screen is conservative the other way too:
-    // Ψ is monotone, so a lane rejected against the current bound could
-    // never have produced an admission later in the batch.)
-    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
-      if (!batch::lane_any_above(vals + j, psi_)) {
-        screened += batch::kScreenLane;
-        continue;
-      }
-      // Walk only the set bits. The mask is a snapshot, so each candidate
-      // is re-tested against the live Ψ before admission (a Ψ raised by a
-      // mid-lane admit rejects exactly the items scalar add() would).
-      unsigned mask = batch::lane_mask_above(vals + j, psi_);
-      while (mask != 0) {
-        const std::size_t k =
-            j + static_cast<std::size_t>(std::countr_zero(mask));
-        mask &= mask - 1;
-        if (!(vals[k] > psi_)) continue;
-        admit(ids[k], vals[k]);
-        ++admitted_in_batch;
-      }
-    }
-    for (; j < n; ++j) {
-      if (!(vals[j] > psi_)) {
-        ++screened;
-        continue;
-      }
-      admit(ids[j], vals[j]);
-      ++admitted_in_batch;
-    }
-    admitted_ += admitted_in_batch;
-    tm_.prefilter_rejected.inc(screened);
-    tm_.batch_survivors.record(n - screened);
-    return admitted_in_batch;
-  }
-
-  /// add_batch over pre-paired entries (the window variants feed their
-  /// merge buffers through this overload).
-  std::size_t add_batch(std::span<const EntryT> items) {
-    const std::size_t n = items.size();
-    processed_ += n;
-    tm_.batch_calls.inc();
-    std::size_t admitted_in_batch = 0;
-    std::size_t survivors_in_batch = 0;
-    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
-      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
-      const std::size_t survivors = batch::prefilter_above(
-          items.data() + base, m, psi_, batch_idx_.data());
-      tm_.prefilter_rejected.inc(m - survivors);
-      survivors_in_batch += survivors;
-      for (std::size_t s = 0; s < survivors; ++s) {
-        const EntryT& e = items[base + batch_idx_[s]];
-        if (!(e.val > psi_)) continue;
-        admit(e.id, e.val);
-        ++admitted_in_batch;
-      }
-    }
-    admitted_ += admitted_in_batch;
-    tm_.batch_survivors.record(survivors_in_batch);
-    return admitted_in_batch;
-  }
-
-  /// The current admission bound: a monotone lower bound on the q-th
-  /// largest value processed so far (−∞ until the array first fills).
-  [[nodiscard]] Value threshold() const noexcept { return psi_; }
-
-  /// Append the q largest live items (fewer if the stream is shorter than
-  /// q) to `out`, unordered. O(capacity) time, non-destructive.
-  void query_into(std::vector<EntryT>& out) const {
-    gather_live(scratch_);
-    const std::size_t take = std::min(q_, scratch_.size());
-    if (take > 0 && take < scratch_.size()) {
-      std::nth_element(scratch_.begin(),
-                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
-                       scratch_.end(),
-                       ValueOrder<Id, Value>{.descending = true});
-    }
-    out.insert(out.end(), scratch_.begin(),
-               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
-  }
-
-  [[nodiscard]] std::vector<EntryT> query() const {
-    std::vector<EntryT> out;
-    out.reserve(q_);
-    query_into(out);
-    return out;
-  }
-
-  /// Visit every live item (the top q plus up to q·γ recent/undecided
-  /// ones). Used by tests and by merge operations that can tolerate
-  /// supersets of the top q.
-  template <typename Fn>
-  void for_each_live(Fn&& fn) const {
-    auto visit = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (arr_[i].val != kEmptyValue<Value>) fn(arr_[i]);
-      }
-    };
-    if (parity_a_) {
-      visit(0, q_ + g_);                      // candidates
-      visit(q_ + g_, q_ + g_ + steps_);       // filled scratch
-    } else {
-      visit(0, steps_);                       // filled scratch
-      visit(g_, arr_.size());                 // candidates
-    }
-  }
-
-  /// Forget everything; equivalent to a freshly constructed instance.
-  /// O(capacity) — the sliding-window algorithms reset one block per
-  /// W·τ items, keeping the amortized cost constant.
-  void reset() noexcept {
-    for (auto& e : arr_) e = EntryT{Id{}, kEmptyValue<Value>};
-    psi_ = kEmptyValue<Value>;
-    parity_a_ = true;
-    steps_ = 0;
-    live_ = 0;
-    processed_ = 0;
-    admitted_ = 0;
-    late_selections_ = 0;
-    tm_.reset();
-    begin_iteration();
-  }
-
-  void set_evict_callback(EvictCallback cb) { on_evict_ = std::move(cb); }
-
-  [[nodiscard]] std::size_t q() const noexcept { return q_; }
-  [[nodiscard]] double gamma() const noexcept { return opts_.gamma; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return arr_.size(); }
-  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
-  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
-  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
-  /// Number of iteration endings where the deamortized selection had not
-  /// finished within its per-step budgets (it is then completed
-  /// synchronously; should be 0 in practice — exposed for the ablation).
-  [[nodiscard]] std::uint64_t late_selections() const noexcept {
-    return late_selections_;
-  }
-  [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
-
- private:
-  friend struct InvariantAccess;
-
-  /// The post-admission-test path shared by add() and add_batch(): scratch
-  /// write, bounded selection advance, iteration end at g steps. The
-  /// caller has already established val > Ψ.
-  void admit(Id id, Value val) {
-    arr_[scratch_base() + steps_] = EntryT{id, val};
-    ++live_;
-    ++steps_;
-    const std::uint64_t ops_before = select_.total_ops();
-    advance_selection();
-    tm_.steps_per_add.record(select_.total_ops() - ops_before);
-    if (steps_ == g_) end_iteration();
-  }
-
-  [[nodiscard]] std::size_t scratch_base() const noexcept {
-    return parity_a_ ? q_ + g_ : 0;
-  }
-  [[nodiscard]] std::size_t candidate_base() const noexcept {
-    return parity_a_ ? 0 : g_;
-  }
-
-  void begin_iteration() {
-    // Parity A selects ascending at k = g (the (g+1)-th smallest of the
-    // q+g candidates is the q-th largest); parity B selects descending at
-    // k = q-1. Both leave the q winners in the middle slots [g, g+q).
-    const std::size_t m = q_ + g_;
-    const bool desc = !parity_a_;
-    const std::size_t k = parity_a_ ? g_ : q_ - 1;
-    select_.start(arr_.data() + candidate_base(), m, k,
-                  ValueOrder<Id, Value>{.descending = desc});
-    psi_applied_ = false;
-  }
-
-  void advance_selection() {
-    if (select_.done()) return;
-    if (select_.step(step_budget_)) apply_new_threshold();
-  }
-
-  void apply_new_threshold() {
-    if (psi_applied_) return;
-    const Value nth = select_.nth().val;
-    if (nth > psi_) {
-      psi_ = nth;
-      tm_.psi_updates.inc();
-    }
-    psi_applied_ = true;
-  }
-
-  void end_iteration() {
-    if (!select_.done()) {
-      // Safety net: the adversarial-pivot case. Finish synchronously.
-      ++late_selections_;
-      select_.finish();
-    }
-    apply_new_threshold();
-    // Evict the g candidates that lost the selection. The callback test is
-    // hoisted out of the loop: the common, callback-free configuration
-    // pays no per-slot branch.
-    const std::size_t lose_lo = parity_a_ ? 0 : g_ + q_;
-    std::size_t batch = 0;
-    if (on_evict_) {
-      for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
-        if (arr_[i].val != kEmptyValue<Value>) {
-          on_evict_(arr_[i]);
-          --live_;
-          ++batch;
-          arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
-        }
-      }
-    } else {
-      for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
-        if (arr_[i].val != kEmptyValue<Value>) {
-          --live_;
-          ++batch;
-          arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
-        }
-      }
-    }
-    tm_.evict_batches.inc();
-    tm_.evicted_items.inc(batch);
-    tm_.evict_batch_size.record(batch);
-    parity_a_ = !parity_a_;
-    steps_ = 0;
-    begin_iteration();
-  }
-
-  void gather_live(std::vector<EntryT>& buf) const {
-    buf.clear();
-    for_each_live([&](const EntryT& e) { buf.push_back(e); });
-  }
-
-  std::size_t q_;
-  Options opts_;
-  std::size_t g_ = 0;          // scratch size = iteration length
-  std::vector<EntryT> arr_;    // q + 2g slots
-  Value psi_ = kEmptyValue<Value>;
-  bool parity_a_ = true;
-  bool psi_applied_ = false;
-  std::size_t steps_ = 0;      // admissions in the current iteration
-  std::size_t live_ = 0;
-  std::uint64_t step_budget_ = 0;
-  std::uint64_t processed_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t late_selections_ = 0;
-
-  [[no_unique_address]] Telemetry tm_;
-  common::IncrementalSelect<EntryT, ValueOrder<Id, Value>> select_;
-  EvictCallback on_evict_;
-  mutable std::vector<EntryT> scratch_;   // query gather buffer (reused)
-  std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
+      : Base(q, opts, {}, "QMax") {}
 };
 
 }  // namespace qmax

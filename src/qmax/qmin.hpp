@@ -9,9 +9,11 @@
 // top-q guarantee of the wrapped reservoir.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
 #include "qmax/entry.hpp"
 
@@ -25,10 +27,28 @@ class QMin {
   using Id = decltype(EntryT{}.id);
 
   template <typename... Args>
-  explicit QMin(Args&&... args) : inner_(std::forward<Args>(args)...) {}
+  explicit QMin(Args&&... args) : inner_(std::forward<Args>(args)...) {
+    neg_.resize(batch::kPrefilterBlock);
+  }
 
   /// Report an item; it is retained if it is among the q smallest.
   bool add(Id id, Value val) { return inner_.add(id, -val); }
+
+  /// Report `n` items at once; equivalent to n in-order add() calls.
+  /// Values are negated run-by-run into a fixed scratch buffer, then each
+  /// run rides the wrapped reservoir's Ψ-prefiltered batch path (or its
+  /// scalar add() if the reservoir has no add_batch). Negation is exact on
+  /// doubles, so admissions match the scalar path bit for bit. Returns the
+  /// number of admitted items.
+  std::size_t add_batch(const Id* ids, const Value* vals, std::size_t n) {
+    std::size_t admitted = 0;
+    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+      for (std::size_t j = 0; j < m; ++j) neg_[j] = -vals[base + j];
+      admitted += batch::add_batch_or_each(inner_, ids + base, neg_.data(), m);
+    }
+    return admitted;
+  }
 
   /// The current admission bound: items >= this cannot enter the q
   /// smallest (+∞-like sentinel until the reservoir fills).
@@ -57,6 +77,7 @@ class QMin {
 
  private:
   R inner_;
+  std::vector<Value> neg_;  // per-run negated-value scratch
 };
 
 }  // namespace qmax

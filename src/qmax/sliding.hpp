@@ -42,6 +42,7 @@
 #include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
 #include "telemetry/counters.hpp"
@@ -105,12 +106,7 @@ class SlackQMax {
     std::uint64_t size = fine_block_;
     std::uint64_t count = n;
     for (std::size_t l = c; l-- > 0;) {
-      Level& lv = levels_[l];
-      lv.block_size = size;
-      lv.num_blocks = count;
-      lv.blocks.reserve(count);
-      for (std::uint64_t i = 0; i < count; ++i) lv.blocks.push_back(factory_());
-      lv.start.assign(count, kNoBlock);
+      levels_[l].init(size, count, factory_);
       size *= branch_;
       count /= branch_;
     }
@@ -128,7 +124,7 @@ class SlackQMax {
       if (t_ % fine_block_ == 0) flush_front();
     } else {
       admitted = false;
-      for (Level& lv : levels_) {
+      for (LevelRing& lv : levels_) {
         admitted = current_block(lv).add(id, val) || admitted;
       }
       ++t_;
@@ -154,7 +150,7 @@ class SlackQMax {
         t_ += run;
         if (t_ % fine_block_ == 0) flush_front();
       } else {
-        for (Level& lv : levels_) {
+        for (LevelRing& lv : levels_) {
           batch::add_batch_or_each(current_block(lv), ids + i, vals + i, run);
         }
         t_ += run;
@@ -205,14 +201,14 @@ class SlackQMax {
 
     while (e > stop) {
       bool found = false;
-      for (const Level& lv : levels_) {  // coarsest first
-        if (e % lv.block_size != 0 && e != horizon) continue;
-        const std::uint64_t idx = (e - 1) / lv.block_size;
-        const std::uint64_t bstart = idx * lv.block_size;
+      for (const LevelRing& lv : levels_) {  // coarsest first
+        if (e % lv.block_size() != 0 && e != horizon) continue;
+        const std::uint64_t idx = (e - 1) / lv.block_size();
+        const std::uint64_t bstart = idx * lv.block_size();
         if (bstart + window_ < t) continue;  // would reach past W items back
-        const std::uint64_t slot = idx % lv.num_blocks;
-        if (lv.start[slot] != bstart) continue;  // recycled by the ring
-        lv.blocks[slot].query_into(out);
+        const R* blk = lv.find(idx);
+        if (blk == nullptr) continue;  // recycled by the ring
+        blk->query_into(out);
         ++blocks_merged;
         e = bstart;
         found = true;
@@ -237,10 +233,7 @@ class SlackQMax {
   }
 
   void reset() {
-    for (Level& lv : levels_) {
-      lv.start.assign(lv.start.size(), kNoBlock);
-      for (R& b : lv.blocks) b.reset();
-    }
+    for (LevelRing& lv : levels_) lv.reset_all();
     if (opts_.lazy) front_[0].reset();
     t_ = 0;
     coverage_ = 0;
@@ -248,12 +241,12 @@ class SlackQMax {
   }
 
   [[nodiscard]] std::size_t q() const {
-    return opts_.lazy ? front_[0].q() : levels_[0].blocks[0].q();
+    return opts_.lazy ? front_[0].q() : levels_[0].blocks()[0].q();
   }
   [[nodiscard]] std::size_t live_count() const {
     std::size_t n = 0;
-    for (const Level& lv : levels_) {
-      for (const R& b : lv.blocks) n += b.live_count();
+    for (const LevelRing& lv : levels_) {
+      for (const R& b : lv.blocks()) n += b.live_count();
     }
     if (opts_.lazy) n += front_[0].live_count();
     return n;
@@ -269,7 +262,7 @@ class SlackQMax {
   /// Total reservoir instances (space accounting for Theorems 5-7).
   [[nodiscard]] std::size_t block_count() const noexcept {
     std::size_t n = opts_.lazy ? 1 : 0;
-    for (const Level& lv : levels_) n += lv.blocks.size();
+    for (const LevelRing& lv : levels_) n += lv.blocks().size();
     return n;
   }
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
@@ -277,25 +270,13 @@ class SlackQMax {
  private:
   friend struct InvariantAccess;
 
-  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+  // Each level is a ring of per-block reservoirs (core::BlockRing owns
+  // the recycle-on-entry / exact-tag-read protocol).
+  using LevelRing = core::BlockRing<R>;
+  static constexpr std::uint64_t kNoBlock = LevelRing::kNoBlock;
 
-  struct Level {
-    std::uint64_t block_size = 0;
-    std::uint64_t num_blocks = 0;
-    std::vector<R> blocks;
-    std::vector<std::uint64_t> start;  // absolute start index tag per slot
-  };
-
-  R& current_block(Level& lv) {
-    const std::uint64_t idx = t_ / lv.block_size;
-    const std::uint64_t slot = idx % lv.num_blocks;
-    const std::uint64_t bstart = idx * lv.block_size;
-    if (lv.start[slot] != bstart) {  // entering a new block: recycle slot
-      lv.blocks[slot].reset();
-      lv.start[slot] = bstart;
-      tm_.block_resets.inc();
-    }
-    return lv.blocks[slot];
+  R& current_block(LevelRing& lv) {
+    return lv.at(t_ / lv.block_size(), [&] { tm_.block_resets.inc(); });
   }
 
   void flush_front() {
@@ -304,19 +285,13 @@ class SlackQMax {
     front_[0].query_into(flush_buf_);
     // The finished block spans (t_ − s, t_]; its item index is t_ − 1.
     const std::uint64_t item = t_ - 1;
-    for (Level& lv : levels_) {
-      const std::uint64_t idx = item / lv.block_size;
-      const std::uint64_t slot = idx % lv.num_blocks;
-      const std::uint64_t bstart = idx * lv.block_size;
-      if (lv.start[slot] != bstart) {
-        lv.blocks[slot].reset();
-        lv.start[slot] = bstart;
-        tm_.block_resets.inc();
-      }
+    for (LevelRing& lv : levels_) {
+      R& blk =
+          lv.at(item / lv.block_size(), [&] { tm_.block_resets.inc(); });
       if constexpr (requires(R& r) { r.add_batch(std::span<const EntryT>{}); }) {
-        lv.blocks[slot].add_batch(std::span<const EntryT>(flush_buf_));
+        blk.add_batch(std::span<const EntryT>(flush_buf_));
       } else {
-        for (const EntryT& e : flush_buf_) lv.blocks[slot].add(e.id, e.val);
+        for (const EntryT& e : flush_buf_) blk.add(e.id, e.val);
       }
     }
     front_[0].reset();
@@ -329,7 +304,7 @@ class SlackQMax {
   std::uint64_t fine_block_ = 1;   // s = ⌊W·τ⌋
   std::uint64_t branch_ = 1;       // b
   std::uint64_t effective_window_ = 0;
-  std::vector<Level> levels_;      // [0] coarsest ... [c-1] finest
+  std::vector<LevelRing> levels_;  // [0] coarsest ... [c-1] finest
   std::vector<R> front_;           // lazy mode only (size 1; R not movable-required)
   std::uint64_t t_ = 0;
   mutable std::uint64_t coverage_ = 0;

@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 
 namespace qmax {
@@ -57,6 +58,17 @@ class SmallDomainWindowMax {
     ++t_;
   }
 
+  /// Report `n` items at once; equivalent to n in-order add() calls.
+  /// There is no admission bound to prefilter against — every arrival
+  /// overwrites its key's stamp — so the batch path is a plain loop; it
+  /// exists so callers can feed every reservoir variant uniformly. Like
+  /// the scalar path, an out-of-domain key throws after the preceding
+  /// items were ingested.
+  void add_batch(const std::uint64_t* keys, const Value* vals,
+                 std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) add(keys[i], vals[i]);
+  }
+
   /// The q largest-valued keys last seen within the slack window
   /// (somewhere between W(1−τ) and W+W·τ items back; the bucketing makes
   /// the boundary fuzzy by one bucket on each side, matching the paper's
@@ -73,12 +85,12 @@ class SmallDomainWindowMax {
       }
     }
     if (live.size() > q) {
-      std::nth_element(live.begin(),
-                       live.begin() + static_cast<std::ptrdiff_t>(q - 1),
-                       live.end(),
-                       [](const EntryT& a, const EntryT& b) {
-                         return b.val < a.val;
-                       });
+      if (q == 0) {
+        live.clear();
+        return live;
+      }
+      core::partition_top(live.begin(), q, live.end(),
+                          ValueOrder<std::uint64_t, Value>{.descending = true});
       live.resize(q);
     }
     return live;

@@ -25,6 +25,7 @@
 #include "common/validate.hpp"
 #include "qmax/batch.hpp"
 #include "qmax/concepts.hpp"
+#include "qmax/core.hpp"
 #include "qmax/entry.hpp"
 #include "qmax/qmax.hpp"
 
@@ -46,13 +47,11 @@ class TimeSlackQMax {
     common::validate_unit_interval(tau, "TimeSlackQMax", "tau");
     if (!factory_) throw std::invalid_argument("TimeSlackQMax: null factory");
     const double span = static_cast<double>(window) * tau;
-    block_span_ = span < 1.0 ? 1 : static_cast<std::uint64_t>(span);
-    num_blocks_ = (window + block_span_ - 1) / block_span_ + 1;
-    blocks_.reserve(num_blocks_);
-    for (std::uint64_t i = 0; i < num_blocks_; ++i) {
-      blocks_.push_back(factory_());
-    }
-    start_.assign(num_blocks_, kNoBlock);
+    const std::uint64_t block_span =
+        span < 1.0 ? 1 : static_cast<std::uint64_t>(span);
+    const std::uint64_t num_blocks =
+        (window + block_span - 1) / block_span + 1;
+    ring_.init(block_span, num_blocks, factory_);
   }
 
   /// Report an item observed at `timestamp` (non-decreasing).
@@ -62,15 +61,8 @@ class TimeSlackQMax {
       throw std::invalid_argument("TimeSlackQMax: timestamps must not go back");
     }
     now_ = timestamp;
-    const std::uint64_t idx = timestamp / block_span_;
-    const std::uint64_t slot = idx % num_blocks_;
-    const std::uint64_t bstart = idx * block_span_;
-    if (start_[slot] != bstart) {
-      blocks_[slot].reset();
-      start_[slot] = bstart;
-    }
     ++processed_;
-    return blocks_[slot].add(id, val);
+    return ring_.at(timestamp / ring_.block_size(), [] {}).add(id, val);
   }
 
   /// Report `n` timestamped items at once (timestamps non-decreasing);
@@ -88,24 +80,18 @@ class TimeSlackQMax {
         throw std::invalid_argument(
             "TimeSlackQMax: timestamps must not go back");
       }
-      const std::uint64_t idx = timestamps[i] / block_span_;
+      const std::uint64_t idx = timestamps[i] / ring_.block_size();
       // Extend the run while timestamps stay monotone inside this block;
       // a non-monotone timestamp ends the run and throws on re-entry.
       std::size_t j = i + 1;
       while (j < n && timestamps[j] >= timestamps[j - 1] &&
-             timestamps[j] / block_span_ == idx) {
+             timestamps[j] / ring_.block_size() == idx) {
         ++j;
       }
       now_ = timestamps[j - 1];
-      const std::uint64_t slot = idx % num_blocks_;
-      const std::uint64_t bstart = idx * block_span_;
-      if (start_[slot] != bstart) {
-        blocks_[slot].reset();
-        start_[slot] = bstart;
-      }
       processed_ += j - i;
-      admitted += batch::add_batch_or_each(blocks_[slot], ids + i, vals + i,
-                                           j - i);
+      admitted += batch::add_batch_or_each(ring_.at(idx, [] {}), ids + i,
+                                           vals + i, j - i);
       i = j;
     }
     return admitted;
@@ -142,23 +128,22 @@ class TimeSlackQMax {
   }
 
   void reset() {
-    for (R& b : blocks_) b.reset();
-    start_.assign(start_.size(), kNoBlock);
+    ring_.reset_all();
     now_ = 0;
     processed_ = 0;
     coverage_ = 0;
   }
 
-  [[nodiscard]] std::size_t q() const { return blocks_[0].q(); }
+  [[nodiscard]] std::size_t q() const { return ring_.blocks()[0].q(); }
   [[nodiscard]] std::size_t live_count() const {
     std::size_t n = 0;
-    for (const R& b : blocks_) n += b.live_count();
+    for (const R& b : ring_.blocks()) n += b.live_count();
     return n;
   }
   [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
   [[nodiscard]] double tau() const noexcept { return tau_; }
   [[nodiscard]] std::uint64_t block_span() const noexcept {
-    return block_span_;
+    return ring_.block_size();
   }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
@@ -166,7 +151,7 @@ class TimeSlackQMax {
  private:
   friend struct InvariantAccess;
 
-  static constexpr std::uint64_t kNoBlock = ~std::uint64_t{0};
+  static constexpr std::uint64_t kNoBlock = core::BlockRing<R>::kNoBlock;
 
   void collect(std::vector<EntryT>& out, bool clear) const {
     if (clear) out.clear();
@@ -176,18 +161,17 @@ class TimeSlackQMax {
     // W old); the oldest such block start bounds the coverage.
     const std::uint64_t now = now_;
     std::uint64_t oldest_start = now;  // nothing covered yet
-    const std::uint64_t cur_idx = now / block_span_;
-    for (std::uint64_t back = 0; back < num_blocks_; ++back) {
+    const std::uint64_t cur_idx = now / ring_.block_size();
+    for (std::uint64_t back = 0; back < ring_.num_blocks(); ++back) {
       if (cur_idx < back) break;  // reached the beginning of time
       const std::uint64_t idx = cur_idx - back;
-      const std::uint64_t bstart = idx * block_span_;
+      const std::uint64_t bstart = idx * ring_.block_size();
       // A block is safe iff none of its items can be older than W:
       // bstart ≥ now − W. The first unsafe block ends the walk; by then
       // coverage exceeds W − block_span ≥ W(1−τ).
       if (bstart + window_ < now) break;
       oldest_start = bstart;  // time covered even if the block was quiet
-      const std::uint64_t slot = idx % num_blocks_;
-      if (start_[slot] == bstart) blocks_[slot].query_into(out);
+      if (const R* blk = ring_.find(idx)) blk->query_into(out);
     }
     coverage_ = now - oldest_start;
   }
@@ -195,10 +179,7 @@ class TimeSlackQMax {
   std::uint64_t window_;
   double tau_;
   Factory factory_;
-  std::uint64_t block_span_ = 1;
-  std::uint64_t num_blocks_ = 1;
-  std::vector<R> blocks_;
-  std::vector<std::uint64_t> start_;
+  core::BlockRing<R> ring_;  // Algorithm 3 geometry on the time axis
   std::uint64_t now_ = 0;
   std::uint64_t processed_ = 0;
   mutable std::uint64_t coverage_ = 0;

@@ -8,6 +8,9 @@
 //   * Always-on statistics the structures already expose as accessors
 //     (processed(), admitted(), hits(), backpressure_stalls, ...) or as
 //     plain aggregate fields (RunResult). These register in every build.
+//     Since every reservoir variant is a policy composition over
+//     core::ReservoirCore, the core's accessors (and its maintenance
+//     policy's telem()) are bound once here and inherited by all of them.
 //   * Gated instruments: a structure exposes `telem()` returning its
 //     telemetry struct, and the telemetry struct exposes
 //     `visit(fn)` calling `fn(name, instrument)` per instrument. These

@@ -1,0 +1,525 @@
+// Frozen reference copies of the pre-refactor (seed) reservoir algorithms.
+//
+// These are the "golden outputs recorded from seed implementations" of the
+// core-extraction refactor, kept as executable code rather than data files:
+// each class below is a line-faithful copy of the seed implementation with
+// telemetry and fault hooks removed (both are identity/no-op in the default
+// build, so removing them changes nothing observable). The differential
+// suite (test_core_differential.cpp) drives a reference instance and the
+// production instance through identical traces — including NaN-laced, tied,
+// and monotone-adversarial ones — and asserts bit-identical admission
+// decisions, Ψ trajectories, and query results.
+//
+// DO NOT "fix" or modernise these copies: their entire value is that they
+// preserve the seed behavior exactly. If production behavior must change,
+// the differential tests change with it — deliberately and visibly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/select.hpp"
+#include "qmax/entry.hpp"
+
+namespace seedref {
+
+using qmax::BasicEntry;
+using qmax::is_admissible_value;
+using qmax::kEmptyValue;
+using qmax::ValueOrder;
+
+// ---- Seed QMax (deamortized Algorithm 1), scalar path ------------------
+template <typename Id = std::uint64_t, typename Value = double>
+class QMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+
+  explicit QMax(std::size_t q, double gamma = 0.25,
+                unsigned budget_factor = 4)
+      : q_(q) {
+    g_ = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma / 2.0));
+    if (g_ == 0) g_ = 1;
+    arr_.resize(q_ + 2 * g_, EntryT{Id{}, kEmptyValue<Value>});
+    const std::size_t m = q_ + g_;
+    step_budget_ = static_cast<std::uint64_t>(budget_factor) *
+                       ((m + g_ - 1) / g_) +
+                   budget_factor;
+    scratch_.reserve(arr_.size());
+    begin_iteration();
+  }
+
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val) || !(val > psi_)) return false;
+    ++admitted_;
+    admit(id, val);
+    return true;
+  }
+
+  [[nodiscard]] Value threshold() const noexcept { return psi_; }
+
+  void query_into(std::vector<EntryT>& out) const {
+    scratch_.clear();
+    for_each_live([&](const EntryT& e) { scratch_.push_back(e); });
+    const std::size_t take = std::min(q_, scratch_.size());
+    if (take > 0 && take < scratch_.size()) {
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
+                       scratch_.end(),
+                       ValueOrder<Id, Value>{.descending = true});
+    }
+    out.insert(out.end(), scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(q_);
+    query_into(out);
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    auto visit = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (arr_[i].val != kEmptyValue<Value>) fn(arr_[i]);
+      }
+    };
+    if (parity_a_) {
+      visit(0, q_ + g_);
+      visit(q_ + g_, q_ + g_ + steps_);
+    } else {
+      visit(0, steps_);
+      visit(g_, arr_.size());
+    }
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t late_selections() const noexcept {
+    return late_selections_;
+  }
+
+ private:
+  void admit(Id id, Value val) {
+    arr_[scratch_base() + steps_] = EntryT{id, val};
+    ++live_;
+    ++steps_;
+    advance_selection();
+    if (steps_ == g_) end_iteration();
+  }
+
+  [[nodiscard]] std::size_t scratch_base() const noexcept {
+    return parity_a_ ? q_ + g_ : 0;
+  }
+  [[nodiscard]] std::size_t candidate_base() const noexcept {
+    return parity_a_ ? 0 : g_;
+  }
+
+  void begin_iteration() {
+    const std::size_t m = q_ + g_;
+    const bool desc = !parity_a_;
+    const std::size_t k = parity_a_ ? g_ : q_ - 1;
+    select_.start(arr_.data() + candidate_base(), m, k,
+                  ValueOrder<Id, Value>{.descending = desc});
+    psi_applied_ = false;
+  }
+
+  void advance_selection() {
+    if (select_.done()) return;
+    if (select_.step(step_budget_)) apply_new_threshold();
+  }
+
+  void apply_new_threshold() {
+    if (psi_applied_) return;
+    const Value nth = select_.nth().val;
+    if (nth > psi_) psi_ = nth;
+    psi_applied_ = true;
+  }
+
+  void end_iteration() {
+    if (!select_.done()) {
+      ++late_selections_;
+      select_.finish();
+    }
+    apply_new_threshold();
+    const std::size_t lose_lo = parity_a_ ? 0 : g_ + q_;
+    for (std::size_t i = lose_lo; i < lose_lo + g_; ++i) {
+      if (arr_[i].val != kEmptyValue<Value>) {
+        --live_;
+        arr_[i] = EntryT{Id{}, kEmptyValue<Value>};
+      }
+    }
+    parity_a_ = !parity_a_;
+    steps_ = 0;
+    begin_iteration();
+  }
+
+  std::size_t q_;
+  std::size_t g_ = 0;
+  std::vector<EntryT> arr_;
+  Value psi_ = kEmptyValue<Value>;
+  bool parity_a_ = true;
+  bool psi_applied_ = false;
+  std::size_t steps_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t step_budget_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t late_selections_ = 0;
+  qmax::common::IncrementalSelect<EntryT, ValueOrder<Id, Value>> select_;
+  mutable std::vector<EntryT> scratch_;
+};
+
+// ---- Seed AmortizedQMax (Section 4.2 batch variant), scalar path -------
+template <typename Id = std::uint64_t, typename Value = double>
+class AmortizedQMax {
+ public:
+  using EntryT = BasicEntry<Id, Value>;
+
+  explicit AmortizedQMax(std::size_t q, double gamma = 0.25) : q_(q) {
+    std::size_t extra = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma));
+    if (extra == 0) extra = 1;
+    arr_.reserve(q_ + extra);
+    cap_ = q_ + extra;
+  }
+
+  bool add(Id id, Value val) {
+    ++processed_;
+    if (!is_admissible_value(val) || !(val > psi_)) return false;
+    ++admitted_;
+    arr_.push_back(EntryT{id, val});
+    if (arr_.size() == cap_) maintain();
+    return true;
+  }
+
+  [[nodiscard]] Value threshold() const noexcept { return psi_; }
+
+  void query_into(std::vector<EntryT>& out) const {
+    const std::size_t take = std::min(q_, arr_.size());
+    if (take == 0) return;
+    scratch_ = arr_;
+    if (take < scratch_.size()) {
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(take - 1),
+                       scratch_.end(),
+                       ValueOrder<Id, Value>{.descending = true});
+    }
+    out.insert(out.end(), scratch_.begin(),
+               scratch_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
+  [[nodiscard]] std::vector<EntryT> query() const {
+    std::vector<EntryT> out;
+    out.reserve(q_);
+    query_into(out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t q() const noexcept { return q_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+
+ private:
+  void maintain() {
+    std::nth_element(arr_.begin(),
+                     arr_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
+                     arr_.end(), ValueOrder<Id, Value>{.descending = true});
+    psi_ = std::max(psi_, arr_[q_ - 1].val);
+    arr_.resize(q_);
+  }
+
+  std::size_t q_;
+  std::size_t cap_ = 0;
+  std::vector<EntryT> arr_;
+  Value psi_ = kEmptyValue<Value>;
+  std::uint64_t processed_ = 0;
+  std::uint64_t admitted_ = 0;
+  mutable std::vector<EntryT> scratch_;
+};
+
+// ---- Seed ExpDecayQMax (Section 5), scalar path ------------------------
+template <typename Id = std::uint64_t>
+class ExpDecayQMax {
+ public:
+  using EntryT = BasicEntry<Id, double>;
+
+  ExpDecayQMax(std::size_t q, double decay, double gamma = 0.25)
+      : inner_(q, gamma), log_c_(std::log(decay)) {}
+
+  bool add(Id id, double val) {
+    const std::uint64_t i = t_++;
+    if (!(val > 0.0) || !std::isfinite(val)) return false;
+    const double keyed = std::log(val) - static_cast<double>(i) * log_c_;
+    return inner_.add(id, keyed);
+  }
+
+  [[nodiscard]] std::vector<EntryT> query_log() const {
+    std::vector<EntryT> out;
+    inner_.query_into(out);
+    const double now_shift = static_cast<double>(t_) * log_c_;
+    for (EntryT& e : out) e.val += now_shift;
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t processed() const noexcept { return t_; }
+  [[nodiscard]] const QMax<Id, double>& inner() const noexcept {
+    return inner_;
+  }
+
+ private:
+  QMax<Id, double> inner_;
+  double log_c_;
+  std::uint64_t t_ = 0;
+};
+
+// ---- Seed LrfuQMaxCache (amortized, Section 5.1) -----------------------
+template <typename Key = std::uint64_t>
+class LrfuQMaxCache {
+ public:
+  LrfuQMaxCache(std::size_t q, double decay, double gamma = 0.25)
+      : q_(q), log_c_(std::log(decay)) {
+    std::size_t extra =
+        static_cast<std::size_t>(std::ceil(static_cast<double>(q) * gamma));
+    if (extra == 0) extra = 1;
+    cap_ = q_ + extra;
+    entries_.reserve(cap_);
+    index_.reserve(cap_ * 2);
+  }
+
+  bool access(Key key) {
+    ++accesses_;
+    const double w = -static_cast<double>(t_++) * log_c_;
+    const bool hit = index_.emplace(key, kPending).second == false;
+    if (hit) ++hits_;
+    entries_.push_back(Slot{key, w});
+    if (entries_.size() == cap_) maintain();
+    return hit;
+  }
+
+  [[nodiscard]] bool contains(Key key) const {
+    return index_.find(key) != index_.end();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+  [[nodiscard]] std::vector<std::pair<Key, double>> ranked_keys() {
+    maintain();
+    std::vector<std::pair<Key, double>> out;
+    out.reserve(entries_.size());
+    for (const Slot& e : entries_) out.emplace_back(e.key, e.w);
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kPending = 0xFFFFFFFFu;
+
+  struct Slot {
+    Key key;
+    double w;
+  };
+
+  void maintain() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Slot& e = entries_[i];
+      auto it = index_.find(e.key);
+      if (it->second != kPending && it->second < out &&
+          entries_[it->second].key == e.key) {
+        double& acc = entries_[it->second].w;
+        const double hi = acc > e.w ? acc : e.w;
+        const double lo = acc > e.w ? e.w : acc;
+        acc = hi + std::log1p(std::exp(lo - hi));
+      } else {
+        entries_[out] = e;
+        it->second = static_cast<std::uint32_t>(out);
+        ++out;
+      }
+    }
+    entries_.resize(out);
+
+    if (entries_.size() > q_) {
+      std::nth_element(entries_.begin(),
+                       entries_.begin() + static_cast<std::ptrdiff_t>(q_ - 1),
+                       entries_.end(),
+                       [](const Slot& a, const Slot& b) { return a.w > b.w; });
+      for (std::size_t i = q_; i < entries_.size(); ++i) {
+        index_.erase(entries_[i].key);
+      }
+      entries_.resize(q_);
+      for (std::size_t i = 0; i < entries_.size(); ++i) {
+        index_[entries_[i].key] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+
+  std::size_t q_;
+  double log_c_;
+  std::size_t cap_ = 0;
+  std::vector<Slot> entries_;
+  std::unordered_map<Key, std::uint32_t> index_;
+  std::uint64_t t_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+// ---- Seed LrfuQMaxCacheDeamortized (Figure 3) --------------------------
+template <typename Key = std::uint64_t>
+class LrfuQMaxCacheDeamortized {
+ public:
+  LrfuQMaxCacheDeamortized(std::size_t q, double decay, double gamma = 0.25,
+                           unsigned budget_factor = 4)
+      : q_(q), log_c_(std::log(decay)) {
+    g_ = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * gamma / 2.0));
+    if (g_ == 0) g_ = 1;
+    arr_.assign(q_ + 2 * g_, Claim{Key{}, kEmptyValue<double>});
+    const std::size_t m = q_ + g_;
+    step_budget_ = static_cast<std::uint64_t>(budget_factor) *
+                       ((m + g_ - 1) / g_) +
+                   budget_factor;
+    index_.reserve(arr_.size() * 2);
+    begin_iteration();
+  }
+
+  bool access(Key key) {
+    ++accesses_;
+    const double now_w = -static_cast<double>(t_++) * log_c_;
+    auto it = index_.find(key);
+    const bool hit = it != index_.end();
+    if (hit) ++hits_;
+
+    double w_new = now_w;
+    if (hit) {
+      const double hi = it->second.w > now_w ? it->second.w : now_w;
+      const double lo = it->second.w > now_w ? now_w : it->second.w;
+      w_new = hi + std::log1p(std::exp(lo - hi));
+    }
+
+    if (hit && it->second.claim_iter == iteration_) {
+      it->second.w = w_new;
+      it->second.claim_w = w_new;
+      arr_[it->second.claim_slot].w = w_new;
+      return hit;
+    }
+    if (hit && it->second.claim_w > psi_) {
+      it->second.w = w_new;
+      return hit;
+    }
+    const std::size_t slot = scratch_base() + steps_;
+    reconcile_overwrite(slot);
+    arr_[slot] = Claim{key, w_new};
+    index_[key] = Info{w_new, w_new, iteration_, slot};
+    ++steps_;
+    advance_selection();
+    if (steps_ == g_) end_iteration();
+    return hit;
+  }
+
+  [[nodiscard]] bool contains(Key key) const {
+    return index_.find(key) != index_.end();
+  }
+  [[nodiscard]] double score(Key key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return 0.0;
+    return std::exp(it->second.w + static_cast<double>(t_) * log_c_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  struct Claim {
+    Key key;
+    double w;
+  };
+  struct Info {
+    double w;
+    double claim_w;
+    std::uint64_t claim_iter;
+    std::size_t claim_slot;
+  };
+  struct ClaimOrder {
+    bool descending = false;
+    [[nodiscard]] bool operator()(const Claim& a,
+                                  const Claim& b) const noexcept {
+      return descending ? b.w < a.w : a.w < b.w;
+    }
+  };
+
+  [[nodiscard]] std::size_t scratch_base() const noexcept {
+    return parity_a_ ? q_ + g_ : 0;
+  }
+  [[nodiscard]] std::size_t candidate_base() const noexcept {
+    return parity_a_ ? 0 : g_;
+  }
+
+  void begin_iteration() {
+    const std::size_t m = q_ + g_;
+    const bool desc = !parity_a_;
+    const std::size_t k = parity_a_ ? g_ : q_ - 1;
+    select_.start(arr_.data() + candidate_base(), m, k,
+                  ClaimOrder{.descending = desc});
+    psi_applied_ = false;
+  }
+
+  void advance_selection() {
+    if (select_.done()) return;
+    if (select_.step(step_budget_)) apply_new_threshold();
+  }
+
+  void apply_new_threshold() {
+    if (psi_applied_) return;
+    const double nth = select_.nth().w;
+    if (nth > psi_) psi_ = nth;
+    psi_applied_ = true;
+  }
+
+  void end_iteration() {
+    if (!select_.done()) select_.finish();
+    apply_new_threshold();
+    parity_a_ = !parity_a_;
+    steps_ = 0;
+    ++iteration_;
+    begin_iteration();
+  }
+
+  void reconcile_overwrite(std::size_t slot) {
+    Claim& old = arr_[slot];
+    if (old.w == kEmptyValue<double>) return;
+    auto it = index_.find(old.key);
+    if (it != index_.end() && it->second.claim_w == old.w) {
+      index_.erase(it);
+    }
+    old.w = kEmptyValue<double>;
+  }
+
+  std::size_t q_;
+  double log_c_;
+  std::size_t g_ = 0;
+  std::vector<Claim> arr_;
+  std::unordered_map<Key, Info> index_;
+  double psi_ = kEmptyValue<double>;
+  bool parity_a_ = true;
+  bool psi_applied_ = false;
+  std::uint64_t iteration_ = 0;
+  std::size_t steps_ = 0;
+  std::uint64_t t_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t step_budget_ = 0;
+  qmax::common::IncrementalSelect<Claim, ClaimOrder> select_;
+};
+
+}  // namespace seedref

@@ -18,7 +18,9 @@
 #include "qmax/concepts.hpp"
 #include "qmax/exp_decay.hpp"
 #include "qmax/qmax.hpp"
+#include "qmax/qmin.hpp"
 #include "qmax/sliding.hpp"
+#include "qmax/small_domain_window.hpp"
 #include "qmax/time_sliding.hpp"
 
 namespace {
@@ -27,7 +29,9 @@ using qmax::AmortizedQMax;
 using qmax::Entry;
 using qmax::ExpDecayQMax;
 using qmax::QMax;
+using qmax::QMin;
 using qmax::SlackQMax;
+using qmax::SmallDomainWindowMax;
 using qmax::TimeSlackQMax;
 using qmax::common::Xoshiro256;
 
@@ -343,3 +347,68 @@ TEST(AddBatch, TelemetryCountsPrefilterRejections) {
 }
 
 }  // namespace
+
+TEST(AddBatch, QMinVariantMatchesScalar) {
+  std::vector<double> vals;
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 4000; ++i) vals.push_back(rng.uniform());
+  // A few adversarial values: NaN is rejected on both paths, negatives
+  // and zeros exercise the sign flip around -0.0.
+  vals[100] = std::numeric_limits<double>::quiet_NaN();
+  vals[200] = 0.0;
+  vals[300] = -0.0;
+  vals[400] = -vals[401];
+  QMin<QMax<>> scalar(64, 0.25);
+  QMin<QMax<>> batched(64, 0.25);
+  const auto ids = iota_ids(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) scalar.add(ids[i], vals[i]);
+  for (std::size_t i = 0; i < vals.size(); i += 613) {
+    const std::size_t m = std::min<std::size_t>(613, vals.size() - i);
+    batched.add_batch(ids.data() + i, vals.data() + i, m);
+  }
+  EXPECT_EQ(scalar.threshold(), batched.threshold());
+  EXPECT_EQ(scalar.inner().processed(), batched.inner().processed());
+  EXPECT_EQ(scalar.inner().admitted(), batched.inner().admitted());
+  EXPECT_EQ(scalar.live_count(), batched.live_count());
+  EXPECT_EQ(sorted_query(scalar), sorted_query(batched));
+}
+
+TEST(AddBatch, SmallDomainWindowVariantMatchesScalar) {
+  Xoshiro256 rng(13);
+  std::vector<std::uint64_t> keys;
+  std::vector<double> vals;
+  for (int i = 0; i < 3000; ++i) {
+    keys.push_back(rng.bounded(50));
+    vals.push_back(rng.uniform());
+  }
+  SmallDomainWindowMax<double> scalar(50, 400, 0.25);
+  SmallDomainWindowMax<double> batched(50, 400, 0.25);
+  for (std::size_t i = 0; i < keys.size(); ++i) scalar.add(keys[i], vals[i]);
+  for (std::size_t i = 0; i < keys.size(); i += 97) {
+    const std::size_t m = std::min<std::size_t>(97, keys.size() - i);
+    batched.add_batch(keys.data() + i, vals.data() + i, m);
+  }
+  EXPECT_EQ(scalar.processed(), batched.processed());
+  for (const std::size_t q : {std::size_t{1}, std::size_t{8},
+                              std::size_t{64}}) {
+    auto lhs = scalar.query(q);
+    auto rhs = batched.query(q);
+    auto by_key = [](const auto& a, const auto& b) { return a.id < b.id; };
+    std::sort(lhs.begin(), lhs.end(), by_key);
+    std::sort(rhs.begin(), rhs.end(), by_key);
+    ASSERT_EQ(lhs.size(), rhs.size()) << "q=" << q;
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].id, rhs[i].id);
+      EXPECT_EQ(lhs[i].val, rhs[i].val);
+    }
+  }
+}
+
+TEST(AddBatch, SmallDomainWindowBatchThrowsLikeScalar) {
+  SmallDomainWindowMax<double> w(8, 100, 0.5);
+  const std::uint64_t keys[3] = {1, 2, 99};  // third is out of domain
+  const double vals[3] = {0.1, 0.2, 0.3};
+  EXPECT_THROW(w.add_batch(keys, vals, 3), std::out_of_range);
+  // The preceding in-domain items were ingested, exactly like scalar adds.
+  EXPECT_EQ(w.processed(), 2u);
+}
