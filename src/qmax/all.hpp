@@ -15,6 +15,7 @@
 #include "qmax/invariants.hpp"       // white-box invariant audits
 #include "qmax/qmax.hpp"             // Algorithm 1: deamortized q-MAX
 #include "qmax/qmin.hpp"             // minimum-oriented adapter
+#include "qmax/sharded.hpp"          // sharded reservoirs + global-Ψ broadcast
 #include "qmax/sliding.hpp"          // Algorithms 3/4 + Theorem 7 windows
 #include "qmax/small_domain_window.hpp"  // §4.3.2 small-domain variant
 #include "qmax/time_sliding.hpp"     // Section 4.3.4: time-based windows

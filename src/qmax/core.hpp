@@ -324,6 +324,18 @@ struct DeamortizedMaintenance {
 
   [[nodiscard]] Value psi() const noexcept { return eng_.psi_; }
 
+  /// Raise Ψ to an externally established admission bound (the sharded
+  /// global-Ψ broadcast): a lower bound on the *global* q-th largest that
+  /// another reservoir proved. Monotone and gate-only — the parity array,
+  /// selection, and eviction machinery are untouched, so the shard keeps
+  /// every item the tightened gate admits exactly as before. The folded
+  /// floor is remembered so the invariant audits can distinguish an
+  /// external raise from a selection-derived one.
+  void raise_psi_floor(Value v) noexcept {
+    if (v > ext_floor_) ext_floor_ = v;
+    if (v > eng_.psi_) eng_.psi_ = v;
+  }
+
   /// The post-admission-test path: scratch write, bounded selection
   /// advance, iteration end at g steps. The caller has already
   /// established val > Ψ.
@@ -364,6 +376,7 @@ struct DeamortizedMaintenance {
   void reset() noexcept {
     eng_.reset();
     live_ = 0;
+    ext_floor_ = VP::empty();
     tm_.reset();
   }
 
@@ -409,6 +422,7 @@ struct DeamortizedMaintenance {
 
   Options opts_{};
   std::size_t live_ = 0;
+  Value ext_floor_ = VP::empty();  // highest externally folded bound
   [[no_unique_address]] Telemetry tm_;
   EvictCallback on_evict_;
   ParityEngine<EntryT, typename VP::Order, ValProj> eng_;
@@ -470,6 +484,14 @@ struct AmortizedMaintenance {
 
   [[nodiscard]] Value psi() const noexcept { return psi_; }
 
+  /// See DeamortizedMaintenance::raise_psi_floor: fold an externally
+  /// proved global bound into the admission gate. maintain() already
+  /// max-combines, so a folded Ψ composes with later selection raises.
+  void raise_psi_floor(Value v) noexcept {
+    if (v > ext_floor_) ext_floor_ = v;
+    if (v > psi_) psi_ = v;
+  }
+
   void admit(Id id, Value val) {
     arr_.push_back(EntryT{id, val});
     if (arr_.size() == cap_) maintain();
@@ -502,6 +524,7 @@ struct AmortizedMaintenance {
   void reset() noexcept {
     arr_.clear();
     psi_ = VP::empty();
+    ext_floor_ = VP::empty();
     tm_.reset();
   }
 
@@ -514,6 +537,7 @@ struct AmortizedMaintenance {
   std::size_t cap_ = 0;
   std::vector<EntryT> arr_;
   Value psi_ = VP::empty();
+  Value ext_floor_ = VP::empty();  // highest externally folded bound
   [[no_unique_address]] Telemetry tm_;
   EvictCallback on_evict_;
 };
@@ -633,6 +657,25 @@ class ReservoirCore {
   /// The current admission bound: a monotone lower bound on the q-th
   /// largest key processed so far (−∞ until the array first fills).
   [[nodiscard]] Value threshold() const noexcept { return maint_.psi(); }
+
+  /// Fold an externally established admission bound into Ψ — the sharded
+  /// global-Ψ broadcast (qmax/sharded.hpp). The caller asserts that at
+  /// least q items ≥ `v` exist in the *combined* stream of every
+  /// reservoir sharing the broadcast, so rejecting below `v` can never
+  /// lose a global top-q item. Because the scalar gate and the SIMD batch
+  /// prefilter both screen against the live Ψ, one fold tightens every
+  /// subsequent admission test and lane screen. Monotone: a no-op unless
+  /// `v` exceeds the current bound. After a fold, this reservoir alone no
+  /// longer answers exact top-q for its *own* substream — only the merged
+  /// query across the broadcast group is exact.
+  void raise_threshold_floor(Value v) noexcept { maint_.raise_psi_floor(v); }
+
+  /// Highest bound ever folded via raise_threshold_floor (the value
+  /// policy's empty() if none): lets audits and telemetry separate
+  /// selection-derived Ψ raises from externally imposed ones.
+  [[nodiscard]] Value external_floor() const noexcept {
+    return maint_.ext_floor_;
+  }
 
   /// Append the q largest live items (fewer if the stream is shorter than
   /// q) to `out`, unordered. O(capacity) time, non-destructive.

@@ -144,6 +144,10 @@ struct InvariantAccess {
 
       // Theorem 1 core: Ψ never exceeds the q-th largest retained value,
       // so evicting items at or below Ψ can never touch the true top q.
+      // A sharded reservoir may carry an externally folded bound
+      // (raise_threshold_floor) above its own q-th largest — there the
+      // guarantee is transferred to the broadcast group, and the local
+      // check relaxes to Ψ ≤ max(q-th largest live, folded floor).
       if (live >= r.q_) {
         std::vector<V> vals;
         vals.reserve(live);
@@ -153,10 +157,10 @@ struct InvariantAccess {
         std::nth_element(vals.begin(),
                          vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
                          vals.end(), std::greater<V>{});
-        a.expect(!(vals[r.q_ - 1] < eng.psi_),
+        a.expect(!(vals[r.q_ - 1] < eng.psi_) || !(m.ext_floor_ < eng.psi_),
                  ctx + "admission bound exceeds the q-th largest live value");
       } else {
-        a.expect(eng.psi_ == kEmptyValue<V>,
+        a.expect(eng.psi_ == kEmptyValue<V> || !(m.ext_floor_ < eng.psi_),
                  ctx + "admission bound raised before q items were retained");
       }
 
@@ -189,7 +193,7 @@ struct InvariantAccess {
       a.expect(!is_nan(m.psi_), ctx + "admission bound is NaN");
 
       if (m.psi_ != kEmptyValue<V>) {
-        a.expect(m.arr_.size() >= r.q_,
+        a.expect(m.arr_.size() >= r.q_ || !(m.ext_floor_ < m.psi_),
                  ctx + "admission bound raised before q items were retained");
       }
       if (m.arr_.size() >= r.q_) {
@@ -199,7 +203,7 @@ struct InvariantAccess {
         std::nth_element(vals.begin(),
                          vals.begin() + static_cast<std::ptrdiff_t>(r.q_ - 1),
                          vals.end(), std::greater<V>{});
-        a.expect(!(vals[r.q_ - 1] < m.psi_),
+        a.expect(!(vals[r.q_ - 1] < m.psi_) || !(m.ext_floor_ < m.psi_),
                  ctx + "admission bound exceeds the q-th largest live value");
       }
 

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/hash.hpp"
+#include "common/timer.hpp"
 #include "vswitch/vswitch.hpp"
 
 namespace qmax::vswitch {
@@ -30,15 +32,66 @@ namespace qmax::vswitch {
 struct MultiPmdConfig {
   std::size_t pmd_threads = 2;
   SwitchConfig per_pmd{};
+  /// Dispatch flows with the historical bare `flow_key() % n` instead of
+  /// the mixed fastrange hash. Bare modulo maps structured key material
+  /// (sequential IPs, fixed ports) straight onto PMD indices, so real
+  /// traces land lopsided; kept only so old skew numbers stay
+  /// reproducible.
+  bool legacy_rss_modulo = false;
 };
 
 struct MultiRunResult {
   std::vector<RunResult> per_pmd;
   std::uint64_t packets = 0;
   double seconds = 0.0;  // wall-clock of the whole parallel section
+  /// Per-consumer CPU seconds (thread clock) spent on non-empty drains:
+  /// entry i is what consumer i actually burned draining + measuring.
+  /// forward_sharded fills one entry per ring, forward_monitored one for
+  /// its single monitor thread; empty for unmonitored runs.
+  std::vector<double> consumer_busy_seconds;
 
   [[nodiscard]] double aggregate_mpps() const noexcept {
     return common::mops(packets, seconds);
+  }
+  /// Slowest / fastest individual PMD datapath rate: how lopsided the RSS
+  /// partition left the producers. (Each PMD's own wall time, so on a
+  /// time-shared host these rank PMDs against each other, not the wire.)
+  [[nodiscard]] double min_pmd_mpps() const noexcept {
+    double m = 0.0;
+    bool first = true;
+    for (const auto& r : per_pmd) {
+      const double v = r.datapath_mpps();
+      if (first || v < m) m = v;
+      first = false;
+    }
+    return m;
+  }
+  [[nodiscard]] double max_pmd_mpps() const noexcept {
+    double m = 0.0;
+    for (const auto& r : per_pmd) {
+      const double v = r.datapath_mpps();
+      if (v > m) m = v;
+    }
+    return m;
+  }
+  /// max/min PMD rate; 1.0 = perfectly balanced, grows with imbalance.
+  /// Returns 1.0 when degenerate (≤1 PMD, or an idle PMD measured 0).
+  [[nodiscard]] double pmd_skew() const noexcept {
+    const double lo = min_pmd_mpps();
+    const double hi = max_pmd_mpps();
+    return (per_pmd.size() > 1 && lo > 0.0) ? hi / lo : 1.0;
+  }
+  /// Measurement throughput modeled as records / busiest consumer's CPU
+  /// time: the rate this consumer fleet sustains when each thread owns a
+  /// core. On a single-core host wall-clock serializes the consumers and
+  /// aggregate_mpps() cannot show parallel speedup; CPU time can. 0 when
+  /// no monitored run filled the busy vector.
+  [[nodiscard]] double modeled_consumer_mpps() const noexcept {
+    double busiest = 0.0;
+    for (const double s : consumer_busy_seconds) {
+      if (s > busiest) busiest = s;
+    }
+    return busiest > 0.0 ? common::mops(total_drained(), busiest) : 0.0;
   }
   [[nodiscard]] double delivered_mpps(double line_rate_pps) const noexcept {
     const double dp = aggregate_mpps();
@@ -112,9 +165,18 @@ class MultiPmdSwitch {
   [[nodiscard]] std::size_t pmd_count() const noexcept { return pmds_.size(); }
   [[nodiscard]] VirtualSwitch& pmd(std::size_t i) { return *pmds_.at(i); }
 
-  /// RSS dispatch: which PMD owns this packet's flow.
+  /// RSS dispatch: which PMD owns this packet's flow. Real NIC RSS runs
+  /// Toeplitz over the 5-tuple; we model it by finalizer-mixing the flow
+  /// key (so low-entropy key bits spread over the whole word) and mapping
+  /// to a PMD via Lemire fastrange, which unlike `% n` consumes the
+  /// well-mixed HIGH bits. Per-flow stability is preserved: the index is
+  /// a pure function of the flow key.
   [[nodiscard]] std::size_t rss(const trace::PacketRecord& p) const noexcept {
-    return p.tuple.flow_key() % pmds_.size();
+    const std::uint64_t key = p.tuple.flow_key();
+    if (cfg_.legacy_rss_modulo) return key % pmds_.size();
+    __extension__ using u128 = unsigned __int128;
+    const auto h = static_cast<u128>(common::mix64(key));
+    return static_cast<std::size_t>((h * pmds_.size()) >> 64);
   }
 
   /// Forward with a single measurement consumer draining every PMD's
@@ -142,6 +204,7 @@ class MultiPmdSwitch {
     MultiRunResult res;
     res.per_pmd.resize(n);
     res.packets = packets.size();
+    res.consumer_busy_seconds.assign(1, 0.0);  // the one monitor thread
     std::atomic<std::size_t> producers_done{0};
 
     // Monitor-side per-ring gauges; published into res.per_pmd after the
@@ -163,10 +226,13 @@ class MultiPmdSwitch {
 
     std::thread monitor([&] {
       MonitorRecord batch[64];
+      common::ThreadCpuStopwatch cpu;
+      double busy = 0.0;
       for (;;) {
         bool any = false;
         for (std::size_t i = 0; i < n; ++i) {
           const std::size_t occ = rings[i]->size_approx();
+          cpu.reset();
           const std::size_t got = rings[i]->pop_batch(batch, 64);
           if constexpr (std::is_invocable_v<Consumer&, std::size_t,
                                             std::span<const MonitorRecord>>) {
@@ -175,6 +241,7 @@ class MultiPmdSwitch {
             for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
           }
           if (got > 0) {
+            busy += cpu.seconds();
             ++drain_batches[i];
             drained[i] += got;
             if (occ > occ_max[i]) occ_max[i] = occ;
@@ -194,6 +261,7 @@ class MultiPmdSwitch {
           std::this_thread::yield();
         }
       }
+      res.consumer_busy_seconds[0] = busy;  // sole writer; read post-join
     });
 
     for (auto& t : pmd_threads) t.join();
@@ -209,11 +277,126 @@ class MultiPmdSwitch {
     return res;
   }
 
+  /// Sharded measurement pipeline: one consumer thread PER ring instead
+  /// of one monitor draining all of them. Consumer i drains only ring i
+  /// and calls `consume(i, record)` / `consume(i, span)` — with a
+  /// ShardedQMax behind the consumer this is the layout where shard i is
+  /// single-writer by construction. Each ring remains SPSC and the only
+  /// producer→consumer handoff beyond the ring itself is one done flag.
+  /// Fills res.consumer_busy_seconds with each consumer's thread-CPU
+  /// time spent on non-empty drains (idle polling excluded), the input
+  /// to MultiRunResult::modeled_consumer_mpps().
+  template <typename Consumer>
+  MultiRunResult forward_sharded(std::span<const trace::PacketRecord> packets,
+                                 Consumer&& consume) {
+    const std::size_t n = pmds_.size();
+    std::vector<std::vector<trace::PacketRecord>> shards(n);
+    for (auto& s : shards) s.reserve(packets.size() / n + 1);
+    for (const auto& p : packets) shards[rss(p)].push_back(p);
+
+    std::vector<std::unique_ptr<SpscRing<MonitorRecord>>> rings;
+    rings.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rings.push_back(std::make_unique<SpscRing<MonitorRecord>>(
+          cfg_.per_pmd.ring_capacity));
+    }
+    // One MonitorTelemetry per ring: the instruments are single-writer
+    // plain fields, so concurrent consumers must never share a pack.
+    while (shard_mon_tm_.size() < n) {
+      shard_mon_tm_.push_back(std::make_unique<MonitorTelemetry>());
+    }
+
+    MultiRunResult res;
+    res.per_pmd.resize(n);
+    res.packets = packets.size();
+    res.consumer_busy_seconds.assign(n, 0.0);
+    std::vector<std::atomic<bool>> done(n);
+
+    std::vector<std::uint64_t> occ_max(n, 0);
+    std::vector<std::uint64_t> drain_batches(n, 0);
+    std::vector<std::uint64_t> drained(n, 0);
+
+    common::Stopwatch wall;
+    std::vector<std::thread> pmd_threads;
+    pmd_threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pmd_threads.emplace_back([&, i] {
+        pmds_[i]->run_datapath(shards[i], rings[i].get(), res.per_pmd[i]);
+        done[i].store(true, std::memory_order_release);
+      });
+    }
+
+    std::vector<std::thread> consumers;
+    consumers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      consumers.emplace_back([&, i] {
+        MonitorRecord batch[64];
+        MonitorTelemetry& tm = *shard_mon_tm_[i];
+        common::ThreadCpuStopwatch cpu;
+        double busy = 0.0;
+        for (;;) {
+          const std::size_t occ = rings[i]->size_approx();
+          cpu.reset();
+          const std::size_t got = rings[i]->pop_batch(batch, 64);
+          if (got > 0) {
+            if constexpr (std::is_invocable_v<
+                              Consumer&, std::size_t,
+                              std::span<const MonitorRecord>>) {
+              consume(i, std::span<const MonitorRecord>(batch, got));
+            } else {
+              for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+            }
+            busy += cpu.seconds();
+            ++drain_batches[i];
+            drained[i] += got;
+            if (occ > occ_max[i]) occ_max[i] = occ;
+            tm.drain_batch.record(got);
+            tm.ring_occupancy.record(occ);
+            tm.records_drained.inc(got);
+          } else {
+            tm.empty_polls.inc();
+            if (done[i].load(std::memory_order_acquire) &&
+                rings[i]->empty_approx()) {
+              break;
+            }
+            std::this_thread::yield();
+          }
+        }
+        res.consumer_busy_seconds[i] = busy;  // sole writer; read post-join
+      });
+    }
+
+    for (auto& t : pmd_threads) t.join();
+    const double producer_wall = wall.seconds();
+    for (auto& t : consumers) t.join();
+    res.seconds = producer_wall;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.per_pmd[i].ring_capacity = rings[i]->capacity();
+      res.per_pmd[i].ring_occupancy_max = occ_max[i];
+      res.per_pmd[i].drain_batches = drain_batches[i];
+      res.per_pmd[i].records_drained = drained[i];
+    }
+    return res;
+  }
+
   /// Consumer-side instruments across all rings, accumulated over runs.
   [[nodiscard]] const MonitorTelemetry& monitor_telemetry() const noexcept {
     return mon_tm_;
   }
   void reset_monitor_telemetry() noexcept { mon_tm_.reset(); }
+
+  /// Per-ring consumer instruments from forward_sharded runs (empty until
+  /// the first such run; entry i is written only by consumer i).
+  [[nodiscard]] std::size_t shard_monitor_count() const noexcept {
+    return shard_mon_tm_.size();
+  }
+  [[nodiscard]] const MonitorTelemetry& shard_monitor_telemetry(
+      std::size_t i) const {
+    return *shard_mon_tm_.at(i);
+  }
+  void reset_shard_monitor_telemetry() noexcept {
+    for (auto& tm : shard_mon_tm_) tm->reset();
+  }
 
   /// Forward without monitoring (the vanilla baseline).
   MultiRunResult forward(std::span<const trace::PacketRecord> packets) {
@@ -240,6 +423,7 @@ class MultiPmdSwitch {
   MultiPmdConfig cfg_;
   std::vector<std::unique_ptr<VirtualSwitch>> pmds_;
   [[no_unique_address]] MonitorTelemetry mon_tm_;
+  std::vector<std::unique_ptr<MonitorTelemetry>> shard_mon_tm_;
 };
 
 }  // namespace qmax::vswitch

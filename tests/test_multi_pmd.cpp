@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <set>
+#include <vector>
 
 #include "qmax/qmax.hpp"
+#include "qmax/sharded.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -93,6 +96,117 @@ TEST(MultiPmd, PerRingOrderIsPreserved) {
                          last_pid[pmd] = r.packet_id;
                        });
   EXPECT_EQ(last_pid.size(), 2u);
+}
+
+TEST(MultiPmd, RssDispatchFormulasArePinned) {
+  // Default dispatch is finalizer-mix + Lemire fastrange over the flow
+  // key; the legacy flag reproduces the historical bare modulo exactly.
+  // Pinning both formulas keeps old skew measurements reproducible and
+  // catches accidental dispatch changes (which would silently re-home
+  // every flow).
+  MultiPmdSwitch mixed(MultiPmdConfig{.pmd_threads = 5});
+  MultiPmdSwitch legacy(
+      MultiPmdConfig{.pmd_threads = 5, .legacy_rss_modulo = true});
+  CaidaLikeGenerator gen;
+  std::vector<std::size_t> mixed_load(5, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto p = gen.next();
+    const std::uint64_t key = p.tuple.flow_key();
+    __extension__ using u128 = unsigned __int128;
+    const auto expect_mixed = static_cast<std::size_t>(
+        (static_cast<u128>(qmax::common::mix64(key)) * 5) >> 64);
+    EXPECT_EQ(mixed.rss(p), expect_mixed);
+    EXPECT_EQ(legacy.rss(p), key % 5);
+    ++mixed_load[mixed.rss(p)];
+  }
+  // The mixed dispatch must not starve any PMD on a realistic trace.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GT(mixed_load[i], 20'000u / 20) << "RSS starved PMD " << i;
+  }
+}
+
+TEST(MultiPmd, SkewAccessorsReportPerPmdSpread) {
+  MultiRunResult res;
+  res.per_pmd.resize(3);
+  res.per_pmd[0].packets = 1000;
+  res.per_pmd[0].seconds = 1.0;  // 0.001 Mpps
+  res.per_pmd[1].packets = 4000;
+  res.per_pmd[1].seconds = 1.0;  // 0.004 Mpps
+  res.per_pmd[2].packets = 2000;
+  res.per_pmd[2].seconds = 1.0;  // 0.002 Mpps
+  EXPECT_DOUBLE_EQ(res.min_pmd_mpps(), 0.001);
+  EXPECT_DOUBLE_EQ(res.max_pmd_mpps(), 0.004);
+  EXPECT_DOUBLE_EQ(res.pmd_skew(), 4.0);
+
+  MultiRunResult single;
+  single.per_pmd.resize(1);
+  single.per_pmd[0].packets = 1000;
+  single.per_pmd[0].seconds = 1.0;
+  EXPECT_DOUBLE_EQ(single.pmd_skew(), 1.0) << "degenerate: one PMD";
+
+  MultiRunResult idle;
+  idle.per_pmd.resize(2);
+  idle.per_pmd[0].packets = 1000;
+  idle.per_pmd[0].seconds = 1.0;
+  EXPECT_DOUBLE_EQ(idle.pmd_skew(), 1.0) << "degenerate: idle PMD";
+
+  EXPECT_DOUBLE_EQ(res.modeled_consumer_mpps(), 0.0)
+      << "no consumer_busy_seconds recorded";
+}
+
+TEST(MultiPmd, ShardedConsumersReceiveEveryRecordExactlyOnce) {
+  MultiPmdSwitch sw(MultiPmdConfig{.pmd_threads = 3});
+  sw.install_default_rules();
+  MinSizePacketGenerator gen(5'000, 4);
+  const auto packets = take_packets(gen, 90'000);
+
+  // One consumer thread per ring: per-shard state needs no lock, the
+  // cross-shard duplicate check does.
+  std::vector<std::set<std::uint64_t>> seen(3);
+  std::vector<std::uint64_t> count(3, 0);
+  std::mutex all_mu;
+  std::set<std::uint64_t> all;
+  const auto res = sw.forward_sharded(
+      packets, [&](std::size_t shard, const MonitorRecord& r) {
+        ASSERT_LT(shard, 3u);
+        EXPECT_TRUE(seen[shard].insert(r.packet_id).second)
+            << "duplicate within shard " << shard;
+        ++count[shard];
+        std::lock_guard<std::mutex> lk(all_mu);
+        EXPECT_TRUE(all.insert(r.packet_id).second)
+            << "record " << r.packet_id << " seen by two shards";
+      });
+  EXPECT_EQ(count[0] + count[1] + count[2], 90'000u);
+  EXPECT_EQ(res.packets, 90'000u);
+  EXPECT_EQ(res.total_drained(), 90'000u);
+  ASSERT_EQ(res.consumer_busy_seconds.size(), 3u);
+  EXPECT_GT(res.modeled_consumer_mpps(), 0.0);
+  // Per-ring consumer telemetry exists for each ring after a sharded run.
+  EXPECT_EQ(sw.shard_monitor_count(), 3u);
+}
+
+TEST(MultiPmd, ShardedEndToEndMatchesOracle) {
+  // The full tentpole pipeline: RSS → per-ring consumer → per-shard
+  // reservoir with Ψ-broadcast → merge-on-query == exact global top-q.
+  MultiPmdSwitch sw(MultiPmdConfig{.pmd_threads = 4});
+  sw.install_default_rules();
+  CaidaLikeGenerator gen;
+  const auto packets = take_packets(gen, 40'000);
+
+  qmax::ShardedQMax<qmax::QMax<>> reservoir(4, 16, {}, true);
+  sw.forward_sharded(packets,
+                     [&](std::size_t shard, const MonitorRecord& r) {
+                       reservoir.add(shard, r.packet_id, double(r.length));
+                     });
+
+  std::vector<double> oracle;
+  for (const auto& p : packets) oracle.push_back(double(p.length));
+  std::sort(oracle.begin(), oracle.end(), std::greater<>());
+  oracle.resize(16);
+  std::vector<double> got;
+  for (const auto& e : reservoir.query()) got.push_back(e.val);
+  std::sort(got.begin(), got.end(), std::greater<>());
+  EXPECT_EQ(got, oracle);
 }
 
 TEST(MultiPmd, EndToEndTopPacketsAcrossPmds) {
