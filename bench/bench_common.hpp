@@ -27,6 +27,7 @@
 #include "common/timer.hpp"
 #include "telemetry/bind.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace_export.hpp"
 #include "trace/synthetic.hpp"
 
 namespace qmax::bench {
@@ -137,6 +138,13 @@ inline void write_metrics_blob() {
   json += "}, \"global\": ";
   json += telemetry::metrics_json_object(
       telemetry::Registry::instance().collect());
+  // Flight-recorder stage latencies (ns). Keys are always present so
+  // bench_snapshot.py and the CI validators need no gate; all-zero
+  // histograms unless built with -DQMAX_TRACE=ON.
+  json += ", \"trace_enabled\": ";
+  json += telemetry::kTraceEnabled ? "true" : "false";
+  json += ", \"trace_stages\": ";
+  json += telemetry::trace_stages_json_object();
   json += "}\n";
   const std::string& path = common::metrics_out();
   if (path == "-") {
@@ -152,13 +160,31 @@ inline void write_metrics_blob() {
   std::fclose(f);
 }
 
+/// Write the flight-recorder Chrome trace to QMAX_TRACE_OUT; no-op when
+/// unset. Valid-but-empty document unless built with -DQMAX_TRACE=ON.
+/// Call with worker threads joined (end of main), the trace layer's
+/// export contract.
+inline void write_trace_blob() {
+  const std::string& path = common::trace_out();
+  if (path.empty()) return;
+  if (path == "-") {
+    const std::string json = telemetry::trace_json();
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return;
+  }
+  if (!telemetry::write_trace_file(path)) {
+    std::fprintf(stderr, "QMAX_TRACE_OUT: cannot write %s\n", path.c_str());
+  }
+}
+
 /// Standard main-body for the figure benches: run google-benchmark, then
-/// emit the metrics blob if one was requested.
+/// emit the metrics blob and trace if requested.
 inline int run_benchmarks(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_metrics_blob();
+  write_trace_blob();
   return 0;
 }
 

@@ -132,5 +132,6 @@ int main() {
                 pba_skip * 100);
   }
   qmax::bench::write_metrics_blob();
+  qmax::bench::write_trace_blob();
   return 0;
 }

@@ -84,7 +84,23 @@ int main() {
         "%7.1f%% %13.2fx %13.2fx %13.2fx %13.2fx %12.2f %12.2f %9.2fx\n",
         gamma * 100, min_h, max_h, min_s, max_s, scalar_mean, batch_mean,
         batch_mean / scalar_mean);
+    // One metrics-blob case per γ row: the throughput numbers the perf
+    // trajectory (scripts/bench_snapshot.sh → BENCH_<n>.json) records.
+    if (metrics_enabled()) {
+      char case_name[32];
+      std::snprintf(case_name, sizeof case_name, "tab01/g=%g", gamma);
+      CaseMetrics cm;
+      cm.add_value("scalar_mpps", scalar_mean);
+      cm.add_value("batch_mpps", batch_mean);
+      cm.add_value("batch_gain", batch_mean / scalar_mean);
+      cm.add_value("min_vs_heap", min_h);
+      cm.add_value("max_vs_heap", max_h);
+      cm.add_value("min_vs_skiplist", min_s);
+      cm.add_value("max_vs_skiplist", max_s);
+      cm.commit(case_name);
+    }
   }
   write_metrics_blob();
+  write_trace_blob();
   return 0;
 }

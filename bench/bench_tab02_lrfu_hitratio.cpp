@@ -50,5 +50,6 @@ int main() {
                 large.hit_ratio() * 100);
   }
   write_metrics_blob();
+  write_trace_blob();
   return 0;
 }

@@ -9,8 +9,17 @@ Usage:
 Each benchmark name has the form "figN/<series...>/param=value/..."; rows
 are grouped by series and emitted as (x, MPPS) pairs where x is the last
 numeric parameter (q, gamma or tau, depending on the figure).
+
+Trajectory mode plots the cross-PR perf record instead: it reads every
+BENCH_<n>.json snapshot (written by scripts/bench_snapshot.sh) and emits
+per-metric series over snapshot number — throughput gauges in one plot,
+traced stage p99 latencies in another.
+
+    scripts/plot_results.py --trajectory [snapshot-dir] [plots-dir]
 """
 import csv
+import glob
+import json
 import os
 import re
 import sys
@@ -52,7 +61,70 @@ def series_and_x(name):
     return "/".join(parts), None
 
 
+def write_series_dat(path, series_map):
+    """Gnuplot multi-series .dat: blocks of (x, y) pairs per series."""
+    with open(path, "w") as f:
+        for series, pts in sorted(series_map.items()):
+            f.write(f'"{series}"\n')
+            for x, y in sorted(pts):
+                f.write(f"{x} {y}\n")
+            f.write("\n\n")
+
+
+def trajectory_main(argv):
+    src = argv[0] if len(argv) > 0 else "."
+    dst = argv[1] if len(argv) > 1 else "plots"
+    os.makedirs(dst, exist_ok=True)
+
+    snaps = []
+    for path in glob.glob(os.path.join(src, "BENCH_*.json")):
+        with open(path) as f:
+            snaps.append(json.load(f))
+    if not snaps:
+        sys.exit(f"no BENCH_*.json snapshots under {src}")
+    snaps.sort(key=lambda s: s.get("snapshot", 0))
+
+    throughput = defaultdict(list)
+    latency = defaultdict(list)
+    for s in snaps:
+        n = s.get("snapshot", 0)
+        for key, v in s.get("throughput", {}).items():
+            throughput[key].append((n, v))
+        for stage, h in s.get("stage_latency_ns", {}).items():
+            if h.get("p99"):
+                latency[stage].append((n, h["p99"]))
+
+    gnuplot_lines = ["set terminal pngcairo size 1100,700",
+                     "set xlabel 'snapshot'", "set key outside",
+                     "set xtics 1"]
+    for name, series_map, ylabel, logscale in [
+            ("trajectory_throughput", throughput, "MPPS / ratio", False),
+            ("trajectory_latency", latency, "stage p99 (ns)", True)]:
+        if not series_map:
+            continue
+        dat = os.path.join(dst, f"{name}.dat")
+        write_series_dat(dat, series_map)
+        gnuplot_lines += [
+            f"set output '{dst}/{name}.png'",
+            f"set ylabel '{ylabel}'",
+            "set logscale y" if logscale else "unset logscale y",
+            f"set title '{name.replace('_', ' ')} across snapshots'",
+            f"plot for [i=0:{len(series_map) - 1}] '{dat}' "
+            "index i using 1:2 with linespoints title columnheader(1)",
+        ]
+        print(f"{name}: {len(series_map)} series over {len(snaps)} "
+              f"snapshot(s) -> {dat}")
+
+    script = os.path.join(dst, "trajectory.gp")
+    with open(script, "w") as f:
+        f.write("\n".join(gnuplot_lines) + "\n")
+    print(f"gnuplot script: {script}")
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--trajectory":
+        trajectory_main(sys.argv[2:])
+        return
     src = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
     dst = sys.argv[2] if len(sys.argv) > 2 else "plots"
     os.makedirs(dst, exist_ok=True)

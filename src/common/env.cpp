@@ -46,6 +46,14 @@ const std::string& metrics_out() {
   return path;
 }
 
+const std::string& trace_out() {
+  static const std::string path = [] {
+    const char* v = std::getenv("QMAX_TRACE_OUT");
+    return std::string(v == nullptr ? "" : v);
+  }();
+  return path;
+}
+
 std::uint64_t scaled(std::uint64_t base) noexcept {
   const double x = std::round(static_cast<double>(base) * bench_scale());
   return x < 1.0 ? 1 : static_cast<std::uint64_t>(x);

@@ -8,6 +8,10 @@
 //   QMAX_BENCH_REPS   — repetitions per data point (default 3; paper: 10)
 //   QMAX_METRICS_OUT  — path for the JSON telemetry blob benches write on
 //                       exit ("-" = stdout; unset = no blob)
+//   QMAX_TRACE_OUT    — path for the Chrome trace-event JSON the flight
+//                       recorder exports on exit ("-" = stdout; unset =
+//                       no trace; empty document unless built with
+//                       -DQMAX_TRACE=ON)
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,9 @@ namespace qmax::common {
 
 /// Destination for the benches' JSON metrics blob; empty = disabled.
 [[nodiscard]] const std::string& metrics_out();
+
+/// Destination for the flight-recorder Chrome trace; empty = disabled.
+[[nodiscard]] const std::string& trace_out();
 
 /// items = max(1, round(base * bench_scale()))
 [[nodiscard]] std::uint64_t scaled(std::uint64_t base) noexcept;

@@ -56,6 +56,7 @@
 #include "qmax/entry.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/span.hpp"
 
 namespace qmax {
 struct InvariantAccess;  // invariants.hpp: white-box audit (tests/debug)
@@ -69,6 +70,8 @@ namespace qmax::core {
 /// Precondition: 0 < take < distance(first, last).
 template <typename It, typename Comp>
 inline void partition_top(It first, std::size_t take, It last, Comp comp) {
+  [[maybe_unused]] telemetry::Span trace_span(
+      telemetry::Stage::kPartitionTop);
   std::nth_element(first, first + static_cast<std::ptrdiff_t>(take - 1), last,
                    std::move(comp));
 }
@@ -226,6 +229,8 @@ struct ParityEngine {
 
   template <typename OnPsi, typename OnEnd>
   void end_iteration(OnPsi&& on_psi, OnEnd&& on_end) {
+    [[maybe_unused]] telemetry::Span trace_span(
+        telemetry::Stage::kMaintenance);
     if (!select_.done()) {
       // Safety net: the adversarial-pivot case. Finish synchronously.
       ++late_selections_;
@@ -498,6 +503,8 @@ struct AmortizedMaintenance {
   }
 
   void maintain() {
+    [[maybe_unused]] telemetry::Span trace_span(
+        telemetry::Stage::kMaintenance);
     partition_top(arr_.begin(), q_, arr_.end(),
                   typename VP::Order{.descending = true});
     psi_ = std::max(psi_, arr_[q_ - 1].val);
@@ -580,6 +587,7 @@ class ReservoirCore {
   /// q, or its value is inadmissible — NaN / the reserved empty value /
   /// rejected by the window transform).
   bool add(Id id, Value val) {
+    [[maybe_unused]] telemetry::Span trace_span(telemetry::Stage::kAdd);
     [[maybe_unused]] const std::uint64_t idx = processed_++;
     val = fault::corrupt_value(val);
     if constexpr (!WindowPolicy::kIdentity) {
@@ -631,6 +639,7 @@ class ReservoirCore {
   std::size_t add_batch(std::span<const EntryT> items)
     requires(WindowPolicy::kIdentity)
   {
+    [[maybe_unused]] telemetry::Span trace_span(telemetry::Stage::kAddBatch);
     const std::size_t n = items.size();
     processed_ += n;
     maint_.tm_.batch_calls.inc();
@@ -638,8 +647,13 @@ class ReservoirCore {
     std::size_t survivors_in_batch = 0;
     for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
       const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
-      const std::size_t survivors = batch::prefilter_above(
-          items.data() + base, m, maint_.psi(), batch_idx_.data());
+      std::size_t survivors;
+      {
+        [[maybe_unused]] telemetry::Span prefilter_span(
+            telemetry::Stage::kPrefilter);
+        survivors = batch::prefilter_above(items.data() + base, m,
+                                           maint_.psi(), batch_idx_.data());
+      }
       maint_.tm_.prefilter_rejected.inc(m - survivors);
       survivors_in_batch += survivors;
       for (std::size_t s = 0; s < survivors; ++s) {
@@ -754,6 +768,7 @@ class ReservoirCore {
   /// Ψ is monotone, so a lane rejected against the current bound could
   /// never have produced an admission later in the batch.)
   std::size_t add_screened(const Id* ids, const Value* vals, std::size_t n) {
+    [[maybe_unused]] telemetry::Span trace_span(telemetry::Stage::kAddBatch);
     processed_ += n;
     maint_.tm_.batch_calls.inc();
     std::size_t admitted_in_batch = 0;

@@ -58,6 +58,7 @@
 #include "qmax/qmax.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/span.hpp"
 
 namespace qmax {
 
@@ -155,6 +156,8 @@ class ShardedQMax {
   /// shorter) to `out`, unordered: concatenate every shard's top-q
   /// survivors, then one partition pass over the ≤ S·q candidates.
   void query_into(std::vector<EntryT>& out) const {
+    [[maybe_unused]] telemetry::Span trace_span(
+        telemetry::Stage::kMergeQuery);
     merge_.clear();
     for (const auto& sh : shards_) sh->core.query_into(merge_);
     tm_.merge_queries.inc();
@@ -275,6 +278,10 @@ class ShardedQMax {
     if (!broadcast_) return;
     const Value g = global_psi_.load(std::memory_order_relaxed);
     if (g > sh.core.threshold()) {
+      // The span covers only actual folds — the every-add relaxed load is
+      // far below clock resolution and would drown the trace.
+      [[maybe_unused]] telemetry::Span trace_span(
+          telemetry::Stage::kPsiFold);
       sh.core.raise_threshold_floor(g);
       ++sh.broadcast_folds;
     }
@@ -287,6 +294,8 @@ class ShardedQMax {
     // "what would the shard alone have rejected" bound.
     if (t > sh.self_psi && t > sh.core.external_floor()) sh.self_psi = t;
     if (!broadcast_ || !(t > sh.published)) return;
+    [[maybe_unused]] telemetry::Span trace_span(
+        telemetry::Stage::kPsiPublish);
     sh.published = t;
     ++sh.broadcast_publishes;
     Value cur = global_psi_.load(std::memory_order_relaxed);

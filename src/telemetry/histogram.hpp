@@ -1,8 +1,16 @@
 // HDR-style log2-bucketed histogram for per-operation work accounting:
 // selection steps per add(), batch-evict sizes, monitor-ring pop-batch
-// sizes. Like counters.hpp, the real state exists only when the
-// QMAX_TELEMETRY gate is on; when off the class is empty and record()
-// compiles away.
+// sizes, and the trace layer's per-stage latencies.
+//
+// Two layers:
+//   BasicHistogram — the real implementation, ALWAYS compiled. The trace
+//     flight recorder (trace.hpp) needs real stage-latency histograms even
+//     in builds without QMAX_TELEMETRY, so the state cannot live behind
+//     that gate.
+//   Histogram — the gated hot-path instrument used inside measured
+//     structures. With QMAX_TELEMETRY on it is an alias for
+//     BasicHistogram; off, it is an empty class whose record() compiles
+//     away (test_telemetry.cpp static_asserts emptiness).
 //
 // Bucketing: value v lands in bucket bit_width(v), i.e. bucket 0 holds
 // exactly {0} and bucket b >= 1 holds [2^(b-1), 2^b). Quantiles are
@@ -18,7 +26,7 @@
 
 namespace qmax::telemetry {
 
-/// Point-in-time summary of a Histogram; a plain value type shared by both
+/// Point-in-time summary of a histogram; a plain value type shared by both
 /// gate states so registry/export code compiles unconditionally.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
@@ -35,9 +43,7 @@ struct HistogramSnapshot {
   }
 };
 
-#if QMAX_TELEMETRY_ENABLED
-
-class Histogram {
+class BasicHistogram {
  public:
   /// 0 plus one bucket per bit of a 64-bit value.
   static constexpr std::size_t kBuckets = 65;
@@ -54,6 +60,17 @@ class Histogram {
   [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
   [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
     return b < kBuckets ? buckets_[b] : 0;
+  }
+
+  /// Fold another histogram into this one (bucket-wise sum, max of maxes);
+  /// the trace exporter merges per-thread stage histograms this way.
+  void merge(const BasicHistogram& other) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
   }
 
   /// Smallest value u such that at least ceil(q * count) recorded values
@@ -117,6 +134,10 @@ class Histogram {
   std::uint64_t max_ = 0;
 };
 
+#if QMAX_TELEMETRY_ENABLED
+
+using Histogram = BasicHistogram;
+
 #else  // QMAX_TELEMETRY_ENABLED
 
 class Histogram {
@@ -130,6 +151,7 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket_count(std::size_t) const noexcept {
     return 0;
   }
+  void merge(const Histogram&) noexcept {}
   [[nodiscard]] std::uint64_t quantile(double) const noexcept { return 0; }
   [[nodiscard]] HistogramSnapshot snapshot() const noexcept { return {}; }
   void reset() noexcept {}

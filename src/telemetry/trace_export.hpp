@@ -1,0 +1,162 @@
+// Export for the flight recorder (trace.hpp): Chrome trace-event JSON
+// plus stage-latency histogram folding into the metric registry.
+//
+// The trace document follows the catapult "JSON Object Format" — an
+// object with a "traceEvents" array — so it loads directly in
+// chrome://tracing and https://ui.perfetto.dev. Spans are "X" (complete)
+// events with microsecond ts/dur; ladder transitions and other markers
+// are "i" (instant) events; one "M" metadata event per recorder names its
+// thread. Always compiled: with QMAX_TRACE off the document is valid but
+// carries no events (and says so in otherData), so bench harness and CI
+// code need no gate of their own.
+//
+// Call sites must only export with recording threads quiescent — the
+// same contract as TraceRegistry.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
+
+namespace qmax::telemetry {
+
+/// (stage name, merged snapshot) for every stage, in Stage order. All
+/// zeros when tracing is off — keys stay stable either way.
+[[nodiscard]] inline std::vector<std::pair<const char*, HistogramSnapshot>>
+trace_stage_snapshots() {
+  std::vector<std::pair<const char*, HistogramSnapshot>> out;
+  out.reserve(kStageCount);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const Stage s = static_cast<Stage>(i);
+#if QMAX_TRACE_ENABLED
+    out.emplace_back(stage_name(s),
+                     TraceRegistry::instance().merged_stage(s).snapshot());
+#else
+    out.emplace_back(stage_name(s), HistogramSnapshot{});
+#endif
+  }
+  return out;
+}
+
+/// `{"add": {histogram...}, "maintenance": {...}, ...}` — ns units.
+[[nodiscard]] inline std::string trace_stages_json_object() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, snap] : trace_stage_snapshots()) {
+    if (!first) out += ", ";
+    first = false;
+    MetricSample s;
+    s.kind = MetricKind::kHistogram;
+    s.hist = snap;
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += metric_json(s);
+  }
+  out += "}";
+  return out;
+}
+
+/// Register every stage histogram as "<prefix>.<stage>" in `reg` (handles
+/// appended to `regs`), folding trace latencies into the ordinary metric
+/// export. With tracing off, registers nothing.
+inline void bind_trace_stage_metrics(Registry& reg,
+                                     std::vector<Registration>& regs,
+                                     const std::string& prefix = "trace.stage") {
+#if QMAX_TRACE_ENABLED
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const Stage s = static_cast<Stage>(i);
+    std::string name = prefix;
+    name += '.';
+    name += stage_name(s);
+    regs.push_back(reg.add_histogram(std::move(name), [s] {
+      return TraceRegistry::instance().merged_stage(s).snapshot();
+    }));
+  }
+#else
+  (void)reg;
+  (void)regs;
+  (void)prefix;
+#endif
+}
+
+namespace trace_detail_export {
+
+/// Microseconds with ns precision, the unit catapult expects.
+[[nodiscard]] inline std::string micros(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace trace_detail_export
+
+/// The full Chrome trace document.
+[[nodiscard]] inline std::string trace_json() {
+  std::string out = "{\"traceEvents\": [";
+#if QMAX_TRACE_ENABLED
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  // Thread-name metadata first: one row label per recorder.
+  TraceRegistry::instance().for_each_recorder([&](const ThreadRecorder& r) {
+    comma();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(r.tid());
+    out += ", \"args\": {\"name\": \"qmax-";
+    out += std::to_string(r.tid());
+    out += "\"}}";
+  });
+  TraceRegistry::instance().for_each_recorder([&](const ThreadRecorder& r) {
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(
+        r.events_recorded() < r.capacity() ? r.events_recorded()
+                                           : r.capacity()));
+    r.collect(events);
+    for (const Event& e : events) {
+      comma();
+      out += "{\"name\": \"";
+      out += json_escape(e.name == nullptr ? "?" : e.name);
+      out += "\", \"cat\": \"";
+      out += stage_name(e.stage);
+      out += "\", \"pid\": 1, \"tid\": ";
+      out += std::to_string(r.tid());
+      out += ", \"ts\": ";
+      out += trace_detail_export::micros(e.ts_ns);
+      if (e.dur_ns == 0) {
+        out += ", \"ph\": \"i\", \"s\": \"t\"}";
+      } else {
+        out += ", \"ph\": \"X\", \"dur\": ";
+        out += trace_detail_export::micros(e.dur_ns);
+        out += "}";
+      }
+    }
+  });
+  out += "\n";
+#endif
+  out += "], \"displayTimeUnit\": \"ns\", \"otherData\": ";
+  out += "{\"source\": \"qmax flight recorder\", \"trace_enabled\": ";
+  out += kTraceEnabled ? "true" : "false";
+  out += "}}\n";
+  return out;
+}
+
+/// Write the trace document to a file; returns false on IO failure.
+inline bool write_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return ok && closed;
+}
+
+}  // namespace qmax::telemetry

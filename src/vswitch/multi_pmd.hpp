@@ -49,6 +49,12 @@ struct MultiRunResult {
   /// forward_sharded fills one entry per ring, forward_monitored one for
   /// its single monitor thread; empty for unmonitored runs.
   std::vector<double> consumer_busy_seconds;
+  /// True iff consumer_busy_seconds was measured with a real per-thread
+  /// CPU clock (common::thread_cputime_supported()). False means the
+  /// entries are wall-clock fallback readings, so CPU-time-derived rates
+  /// (modeled_consumer_mpps) refuse to report rather than pass off
+  /// garbage; false also for unmonitored runs.
+  bool busy_time_valid = false;
 
   [[nodiscard]] double aggregate_mpps() const noexcept {
     return common::mops(packets, seconds);
@@ -85,8 +91,10 @@ struct MultiRunResult {
   /// time: the rate this consumer fleet sustains when each thread owns a
   /// core. On a single-core host wall-clock serializes the consumers and
   /// aggregate_mpps() cannot show parallel speedup; CPU time can. 0 when
-  /// no monitored run filled the busy vector.
+  /// no monitored run filled the busy vector or the platform lacks a
+  /// per-thread CPU clock (busy_time_valid == false).
   [[nodiscard]] double modeled_consumer_mpps() const noexcept {
+    if (!busy_time_valid) return 0.0;
     double busiest = 0.0;
     for (const double s : consumer_busy_seconds) {
       if (s > busiest) busiest = s;
@@ -205,6 +213,7 @@ class MultiPmdSwitch {
     res.per_pmd.resize(n);
     res.packets = packets.size();
     res.consumer_busy_seconds.assign(1, 0.0);  // the one monitor thread
+    res.busy_time_valid = common::thread_cputime_supported();
     std::atomic<std::size_t> producers_done{0};
 
     // Monitor-side per-ring gauges; published into res.per_pmd after the
@@ -234,11 +243,16 @@ class MultiPmdSwitch {
           const std::size_t occ = rings[i]->size_approx();
           cpu.reset();
           const std::size_t got = rings[i]->pop_batch(batch, 64);
-          if constexpr (std::is_invocable_v<Consumer&, std::size_t,
-                                            std::span<const MonitorRecord>>) {
-            if (got > 0) consume(i, std::span<const MonitorRecord>(batch, got));
-          } else {
-            for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+          if (got > 0) {
+            [[maybe_unused]] telemetry::Span drain_span(
+                telemetry::Stage::kRingDrain);
+            if constexpr (std::is_invocable_v<
+                              Consumer&, std::size_t,
+                              std::span<const MonitorRecord>>) {
+              consume(i, std::span<const MonitorRecord>(batch, got));
+            } else {
+              for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+            }
           }
           if (got > 0) {
             busy += cpu.seconds();
@@ -310,6 +324,7 @@ class MultiPmdSwitch {
     res.per_pmd.resize(n);
     res.packets = packets.size();
     res.consumer_busy_seconds.assign(n, 0.0);
+    res.busy_time_valid = common::thread_cputime_supported();
     std::vector<std::atomic<bool>> done(n);
 
     std::vector<std::uint64_t> occ_max(n, 0);
@@ -339,12 +354,16 @@ class MultiPmdSwitch {
           cpu.reset();
           const std::size_t got = rings[i]->pop_batch(batch, 64);
           if (got > 0) {
-            if constexpr (std::is_invocable_v<
-                              Consumer&, std::size_t,
-                              std::span<const MonitorRecord>>) {
-              consume(i, std::span<const MonitorRecord>(batch, got));
-            } else {
-              for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+            {
+              [[maybe_unused]] telemetry::Span drain_span(
+                  telemetry::Stage::kRingDrain);
+              if constexpr (std::is_invocable_v<
+                                Consumer&, std::size_t,
+                                std::span<const MonitorRecord>>) {
+                consume(i, std::span<const MonitorRecord>(batch, got));
+              } else {
+                for (std::size_t j = 0; j < got; ++j) consume(i, batch[j]);
+              }
             }
             busy += cpu.seconds();
             ++drain_batches[i];

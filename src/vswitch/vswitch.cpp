@@ -70,6 +70,8 @@ void VirtualSwitch::pmd_loop(std::span<const trace::PacketRecord> packets,
           case OverloadPolicy::kBackpressure:
             if (!ring->try_push(rec)) {
               ++res.backpressure_stalls;
+              [[maybe_unused]] telemetry::Span stall_span(
+                  telemetry::Stage::kRingPushStall);
               do {
                 // Share the core with the monitor thread while waiting.
                 std::this_thread::yield();
@@ -91,6 +93,7 @@ void VirtualSwitch::pmd_loop(std::span<const trace::PacketRecord> packets,
 void VirtualSwitch::escalate(GracefulCtx& g, DegradeState to,
                              RunResult& res) noexcept {
   g.state = to;
+  telemetry::instant(telemetry::Stage::kOverload, ladder_enter_name(to));
   const auto level = static_cast<std::uint8_t>(to);
   if (level > res.degrade_peak) res.degrade_peak = level;
   ++res.degrade_transitions;
@@ -127,6 +130,8 @@ void VirtualSwitch::maybe_deescalate(const SpscRing<MonitorRecord>& ring,
     if (g.state == DegradeState::kShedProbabilistic && cfg_.shed_period == 0) {
       g.state = DegradeState::kBackpressure;
     }
+    telemetry::instant(telemetry::Stage::kOverload,
+                       ladder_exit_name(g.state));
     ovl_tm_.deescalations.inc();
   }
 }
@@ -159,6 +164,8 @@ void VirtualSwitch::graceful_enqueue(const MonitorRecord& rec,
     g.last_cursor = cur;
     g.frozen_spins = 0;
     g.state = DegradeState::kShedBelowPsi;
+    telemetry::instant(telemetry::Stage::kOverload,
+                       ladder_exit_name(g.state));
     ovl_tm_.deescalations.inc();
   }
   if (g.state == DegradeState::kShedBelowPsi && shed_below_psi(rec)) {
@@ -175,9 +182,14 @@ void VirtualSwitch::graceful_enqueue(const MonitorRecord& rec,
     return;
   }
 
+  if (ring.try_push(rec)) return;
+  // Full ring: spin (bounded) under a single stall span so the whole wait
+  // — however many ladder moves it spans — is one trace event.
+  [[maybe_unused]] telemetry::Span stall_span(
+      telemetry::Stage::kRingPushStall);
   bool stalled = false;
   std::size_t spins = 0;
-  while (!ring.try_push(rec)) {
+  do {
     if (!stalled) {
       stalled = true;
       ++res.backpressure_stalls;
@@ -227,7 +239,7 @@ void VirtualSwitch::graceful_enqueue(const MonitorRecord& rec,
         return;
       }
     }
-  }
+  } while (!ring.try_push(rec));
 }
 
 }  // namespace qmax::vswitch

@@ -25,6 +25,7 @@
 #include "common/timer.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/span.hpp"
 #include "trace/packet.hpp"
 #include "vswitch/flow_table.hpp"
 #include "vswitch/ring_buffer.hpp"
@@ -72,6 +73,36 @@ enum class DegradeState : std::uint8_t {
     case DegradeState::kWatchdog: return "watchdog";
   }
   return "?";
+}
+
+/// Static-storage trace-event names for ladder movement (span.hpp's
+/// instant() requires literal lifetime), keyed by the state ENTERED. The
+/// up/down distinction is in the name so a degradation episode reads
+/// directly off the exported trace timeline.
+[[nodiscard]] constexpr const char* ladder_enter_name(DegradeState s) noexcept {
+  switch (s) {
+    case DegradeState::kNormal: return "ladder:enter_normal";
+    case DegradeState::kBackpressure: return "ladder:enter_backpressure";
+    case DegradeState::kShedProbabilistic:
+      return "ladder:enter_shed_probabilistic";
+    case DegradeState::kShedBelowPsi: return "ladder:enter_shed_below_psi";
+    case DegradeState::kWatchdog: return "ladder:enter_watchdog";
+  }
+  return "ladder:enter_?";
+}
+
+[[nodiscard]] constexpr const char* ladder_exit_name(DegradeState to) noexcept {
+  switch (to) {
+    case DegradeState::kNormal: return "ladder:deescalate_to_normal";
+    case DegradeState::kBackpressure:
+      return "ladder:deescalate_to_backpressure";
+    case DegradeState::kShedProbabilistic:
+      return "ladder:deescalate_to_shed_probabilistic";
+    case DegradeState::kShedBelowPsi:
+      return "ladder:deescalate_to_shed_below_psi";
+    case DegradeState::kWatchdog: return "ladder:deescalate_to_watchdog";
+  }
+  return "ladder:deescalate_to_?";
 }
 
 struct SwitchConfig {
@@ -285,11 +316,15 @@ class VirtualSwitch {
         mon_tm_.drain_batch.record(n);
         mon_tm_.ring_occupancy.record(occ);
         mon_tm_.records_drained.inc(n);
-        if constexpr (std::is_invocable_v<Consumer&,
-                                          std::span<const MonitorRecord>>) {
-          consume(std::span<const MonitorRecord>(batch, n));
-        } else {
-          for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
+        {
+          [[maybe_unused]] telemetry::Span drain_span(
+              telemetry::Stage::kRingDrain);
+          if constexpr (std::is_invocable_v<Consumer&,
+                                            std::span<const MonitorRecord>>) {
+            consume(std::span<const MonitorRecord>(batch, n));
+          } else {
+            for (std::size_t i = 0; i < n; ++i) consume(batch[i]);
+          }
         }
       }
     });

@@ -25,6 +25,7 @@
 #include "cache/lrfu_qmax.hpp"
 #include "common/random.hpp"
 #include "qmax/qmax.hpp"
+#include "qmax/sharded.hpp"
 #include "trace/synthetic.hpp"
 #include "vswitch/vswitch.hpp"
 
@@ -431,6 +432,44 @@ TEST(Bind, TenPlusMetricsSpanQmaxCacheAndSwitch) {
   EXPECT_EQ(sw.monitor_telemetry().records_drained.value(), consumed);
   EXPECT_GT(sw.monitor_telemetry().drain_batch.count(), 0u);
 #endif
+}
+
+TEST(Bind, ShardedQMaxExportsStableKeys) {
+  // The sharded reservoir's export surface is part of the observability
+  // contract: bench_abl_sharding blobs and dashboards key on these names.
+  qmax::ShardedQMax<qmax::QMax<>> sh(2, 64, {}, true);
+  qmax::common::Xoshiro256 rng(11);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    sh.add(i % 2, i, rng.uniform());
+  }
+  const auto top = sh.query();
+  EXPECT_EQ(top.size(), 64u);
+
+  tel::Registry reg;
+  auto regs = tel::bind_metrics(reg, "sharded", sh);
+  const auto samples = reg.collect();
+  const auto names = names_of(samples);
+  EXPECT_TRUE(contains(names, "sharded.processed"));
+  EXPECT_TRUE(contains(names, "sharded.admitted"));
+  EXPECT_TRUE(contains(names, "sharded.live"));
+#if QMAX_TELEMETRY_ENABLED
+  EXPECT_TRUE(contains(names, "sharded.merge_queries"));
+  EXPECT_TRUE(contains(names, "sharded.merge_gathered"));
+  EXPECT_EQ(sh.telem().merge_queries.value(), 1u);
+#else
+  EXPECT_FALSE(contains(names, "sharded.merge_queries"));
+#endif
+
+  // Always-on aggregates reflect the run, and the snapshot parses with
+  // the names intact.
+  std::map<std::string, tel::MetricSample> by_name;
+  for (const auto& s : samples) by_name.emplace(s.name, s);
+  EXPECT_EQ(by_name.at("sharded.processed").counter, 10'000u);
+  EXPECT_GE(by_name.at("sharded.live").gauge, 64.0);
+  const std::string json = tel::snapshot_json(reg);
+  MiniJson p{json};
+  ASSERT_TRUE(p.parse()) << json;
+  EXPECT_TRUE(contains(p.keys, "sharded.admitted"));
 }
 
 TEST(Bind, RingGaugesSurfaceThroughRunResult) {
