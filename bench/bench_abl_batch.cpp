@@ -16,7 +16,9 @@
 // prefilter amortizes nothing.
 #include "bench_common.hpp"
 
+#include "qmax/amortized_qmax.hpp"
 #include "qmax/qmax.hpp"
+#include "qmax/sampled_qmax.hpp"
 
 namespace {
 
@@ -92,6 +94,65 @@ void register_case(std::size_t q, double gamma, std::size_t bsz) {
       ->Iterations(1);
 }
 
+// Sampled-pivot maintenance through the same batched path: the pinned
+// snapshot suite runs this binary, so these cases put the combined
+// optimization (SampledMaintenance + the widest SIMD tier the host
+// dispatches to) on the cross-PR trajectory next to the exact policy.
+// The sweep over sample sizes lives in bench_abl_sampled; this is the
+// single acceptance point per (q, γ) with the auto sample size.
+void register_sampled_case(std::size_t q, double gamma) {
+  char name[96];
+  std::snprintf(name, sizeof name, "abl-batch/sampled/q=%zu/g=%d", q,
+                int(gamma * 100));
+  benchmark::RegisterBenchmark(
+      std::string(name).c_str(),
+      [q, gamma, case_name = std::string(name)](benchmark::State& st) {
+        constexpr std::size_t kBatch = 256;
+        const auto& values = batch_stream();
+        const std::size_t n = values.size();
+        const std::uint64_t* ids = bench_ids(n);
+        double exact_mpps = 0.0;
+        double sampled_mpps = 0.0;
+        for (auto _ : st) {
+          for (int rep = 0; rep < common::bench_reps(); ++rep) {
+            {
+              AmortizedQMax<> r(q, gamma);
+              common::Stopwatch sw;
+              for (std::size_t i = 0; i < n; i += kBatch) {
+                const std::size_t m = std::min(kBatch, n - i);
+                r.add_batch(ids + i, values.data() + i, m);
+              }
+              exact_mpps = std::max(exact_mpps,
+                                    common::mops(n, sw.seconds()));
+              benchmark::DoNotOptimize(r);
+            }
+            SampledQMax<> r(q, gamma);
+            common::Stopwatch sw;
+            for (std::size_t i = 0; i < n; i += kBatch) {
+              const std::size_t m = std::min(kBatch, n - i);
+              r.add_batch(ids + i, values.data() + i, m);
+            }
+            sampled_mpps = std::max(sampled_mpps,
+                                    common::mops(n, sw.seconds()));
+            benchmark::DoNotOptimize(r);
+            if (metrics_enabled() && rep == common::bench_reps() - 1) {
+              CaseMetrics cm;
+              cm.bind("reservoir", r);
+              cm.add_value("exact_batch_mpps", exact_mpps);
+              cm.add_value("sampled_batch_mpps", sampled_mpps);
+              cm.add_value("vs_exact", sampled_mpps / exact_mpps);
+              cm.commit(case_name);
+            }
+          }
+        }
+        st.counters["MPPS_exact"] = exact_mpps;
+        st.counters["MPPS_sampled"] = sampled_mpps;
+        st.counters["vs_exact"] = sampled_mpps / exact_mpps;
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
 void register_all() {
   // q = 10^6 is included unconditionally (not gated on QMAX_BENCH_LARGE):
   // the rejection-dominated large-q point is exactly where the prefilter
@@ -101,6 +162,11 @@ void register_all() {
       for (std::size_t bsz : {16ul, 64ul, 256ul, 1024ul}) {
         register_case(q, gamma, bsz);
       }
+    }
+  }
+  for (std::size_t q : {100'000ul, 1'000'000ul}) {
+    for (double gamma : {0.05, 0.25}) {
+      register_sampled_case(q, gamma);
     }
   }
 }

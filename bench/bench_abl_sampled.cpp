@@ -1,0 +1,128 @@
+// Ablation: sampled-pivot maintenance (SampledQMax vs exact Algorithm 2).
+//
+// Maintenance is the only place the two policies differ: the exact pass
+// runs partition_top over all q + ⌈qγ⌉ entries, the sampled pass draws m
+// values, selects a pivot inside the m-sample, and sweeps one
+// std::partition — falling back to the exact pass whenever the kept count
+// misses the slack window. This bench sweeps sample size × γ × q on the
+// same uniform stream through both policies back-to-back and reports MPPS
+// for both, the speedup, and the fallback rate (fallbacks / maintenance
+// passes) that prices the estimate's reliability.
+//
+// Expected shape: the win grows with q (maintenance cost is Θ(q) per
+// pass, the sample stays O((1/γ)²)) and shrinks as γ grows (fewer,
+// better-amortized passes). sample=0 is the auto size; on configurations
+// where auto disables sampling (the sample would not undercut the array)
+// the two paths coincide and the speedup prints ≈ 1.
+#include "bench_common.hpp"
+
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/sampled_qmax.hpp"
+
+namespace {
+
+using namespace qmax;
+using namespace qmax::bench;
+
+/// Uniform stream long enough that even q = 10^7 (QMAX_BENCH_LARGE) sees
+/// many maintenance passes. Same length policy as bench_abl_batch.
+const std::vector<double>& sampled_stream() {
+  static const std::vector<double> values = [] {
+    std::vector<double> v(common::scaled(150'000'000));
+    common::Xoshiro256 rng(11);
+    for (auto& x : v) x = rng.uniform();
+    return v;
+  }();
+  return values;
+}
+
+void register_case(std::size_t q, double gamma, std::size_t sample) {
+  char name[96];
+  std::snprintf(name, sizeof name, "abl-sampled/q=%zu/g=%d/m=%zu", q,
+                int(gamma * 100), sample);
+  benchmark::RegisterBenchmark(
+      std::string(name).c_str(),
+      [q, gamma, sample, case_name = std::string(name)](benchmark::State& st) {
+        const auto& values = sampled_stream();
+        const std::size_t n = values.size();
+        double exact_mpps = 0.0;
+        double sampled_mpps = 0.0;
+        std::uint64_t passes = 0;
+        std::uint64_t fallbacks = 0;
+        bool sampling_on = false;
+        for (auto _ : st) {
+          for (int rep = 0; rep < common::bench_reps(); ++rep) {
+            {
+              AmortizedQMax<> r(q, gamma);
+              common::Stopwatch sw;
+              for (std::size_t i = 0; i < n; ++i) {
+                r.add(static_cast<std::uint64_t>(i), values[i]);
+              }
+              exact_mpps = std::max(exact_mpps,
+                                    common::mops(n, sw.seconds()));
+              benchmark::DoNotOptimize(r);
+            }
+            SampledQMax<> r(q, gamma, sample);
+            common::Stopwatch sw;
+            for (std::size_t i = 0; i < n; ++i) {
+              r.add(static_cast<std::uint64_t>(i), values[i]);
+            }
+            sampled_mpps = std::max(sampled_mpps,
+                                    common::mops(n, sw.seconds()));
+            benchmark::DoNotOptimize(r);
+            passes = r.sampled_passes() + r.exact_fallbacks();
+            fallbacks = r.exact_fallbacks();
+            sampling_on = r.sampling_enabled();
+            if (metrics_enabled() && rep == common::bench_reps() - 1) {
+              CaseMetrics cm;
+              cm.bind("reservoir", r);
+              cm.add_value("exact_mpps", exact_mpps);
+              cm.add_value("sampled_mpps", sampled_mpps);
+              cm.add_value("vs_exact", sampled_mpps / exact_mpps);
+              cm.add_value("maintenance_passes",
+                           static_cast<double>(passes));
+              cm.add_value("fallback_rate",
+                           passes ? static_cast<double>(fallbacks) /
+                                        static_cast<double>(passes)
+                                  : 0.0);
+              cm.add_value("sample_size",
+                           static_cast<double>(r.sample_size()));
+              cm.commit(case_name);
+            }
+          }
+        }
+        st.counters["MPPS_exact"] = exact_mpps;
+        st.counters["MPPS_sampled"] = sampled_mpps;
+        st.counters["vs_exact"] = sampled_mpps / exact_mpps;
+        st.counters["fallback_pct"] =
+            passes ? 100.0 * static_cast<double>(fallbacks) /
+                         static_cast<double>(passes)
+                   : 0.0;
+        st.counters["sampling_on"] = sampling_on ? 1.0 : 0.0;
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+void register_all() {
+  // sample = 0 is the γ-derived auto size; the forced sizes bracket it
+  // (256 usually misses the slack window often, 4096 rarely). q = 10^6
+  // is unconditional — the acceptance point lives there; 10^7 needs
+  // QMAX_BENCH_LARGE=1.
+  std::vector<std::size_t> qs = {100'000, 1'000'000};
+  if (common::bench_large()) qs.push_back(10'000'000);
+  for (std::size_t q : qs) {
+    for (double gamma : {0.05, 0.25, 1.0}) {
+      for (std::size_t sample : {0ul, 256ul, 4096ul}) {
+        register_case(q, gamma, sample);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return qmax::bench::run_benchmarks(argc, argv);
+}

@@ -15,6 +15,8 @@
 #include "qmax/invariants.hpp"       // white-box invariant audits
 #include "qmax/qmax.hpp"             // Algorithm 1: deamortized q-MAX
 #include "qmax/qmin.hpp"             // minimum-oriented adapter
+#include "qmax/sampled_qmax.hpp"     // sampled-pivot maintenance variant
+#include "qmax/simd.hpp"             // runtime SIMD tier dispatch
 #include "qmax/sharded.hpp"          // sharded reservoirs + global-Ψ broadcast
 #include "qmax/sliding.hpp"          // Algorithms 3/4 + Theorem 7 windows
 #include "qmax/small_domain_window.hpp"  // §4.3.2 small-domain variant

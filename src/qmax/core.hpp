@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/random.hpp"
 #include "common/select.hpp"
 #include "common/validate.hpp"
 #include "qmax/batch.hpp"
@@ -287,6 +288,7 @@ struct DeamortizedMaintenance {
     telemetry::Counter evicted_items;      // items evicted across batches
     telemetry::Counter batch_calls;        // add_batch invocations
     telemetry::Counter prefilter_rejected; // items screened out by the Ψ prefilter
+    telemetry::Counter screen_mode_switches; // adaptive screen on/off flips
     telemetry::Histogram steps_per_add;    // selection ops per admitted item
     telemetry::Histogram evict_batch_size; // live items per batch eviction
     telemetry::Histogram batch_survivors;  // prefilter survivors per add_batch
@@ -298,6 +300,7 @@ struct DeamortizedMaintenance {
       fn("evicted_items", evicted_items);
       fn("batch_calls", batch_calls);
       fn("prefilter_rejected", prefilter_rejected);
+      fn("screen_mode_switches", screen_mode_switches);
       fn("steps_per_add", steps_per_add);
       fn("evict_batch_size", evict_batch_size);
       fn("batch_survivors", batch_survivors);
@@ -308,6 +311,7 @@ struct DeamortizedMaintenance {
       evicted_items.reset();
       batch_calls.reset();
       prefilter_rejected.reset();
+      screen_mode_switches.reset();
       steps_per_add.reset();
       evict_batch_size.reset();
       batch_survivors.reset();
@@ -453,6 +457,7 @@ struct AmortizedMaintenance {
     telemetry::Counter evicted_items;
     telemetry::Counter batch_calls;         // add_batch invocations
     telemetry::Counter prefilter_rejected;  // items screened out by Ψ
+    telemetry::Counter screen_mode_switches; // adaptive screen on/off flips
     telemetry::Histogram evict_batch_size;  // items dropped per sweep
     telemetry::Histogram batch_survivors;   // prefilter survivors per batch
 
@@ -462,6 +467,7 @@ struct AmortizedMaintenance {
       fn("evicted_items", evicted_items);
       fn("batch_calls", batch_calls);
       fn("prefilter_rejected", prefilter_rejected);
+      fn("screen_mode_switches", screen_mode_switches);
       fn("evict_batch_size", evict_batch_size);
       fn("batch_survivors", batch_survivors);
     }
@@ -470,6 +476,7 @@ struct AmortizedMaintenance {
       evicted_items.reset();
       batch_calls.reset();
       prefilter_rejected.reset();
+      screen_mode_switches.reset();
       evict_batch_size.reset();
       batch_survivors.reset();
     }
@@ -549,6 +556,275 @@ struct AmortizedMaintenance {
   EvictCallback on_evict_;
 };
 
+/// Sampled-pivot maintenance (the SQUID/SQUAD estimator applied to
+/// Algorithm 2): same append-until-full lifecycle as AmortizedMaintenance,
+/// but the eviction pivot is *estimated* from a small uniform sample of
+/// the occupied slots instead of an exact selection over all q + ⌈qγ⌉ of
+/// them. One std::partition pass against the estimated pivot then splits
+/// keepers from losers. The estimate is accepted only when the kept count
+/// lands inside the slack window [q, q + ⌈qγ⌉/2]; a miss in either
+/// direction falls back to the exact core::partition_top pass, so the
+/// reservoir-size and Ψ-monotonicity invariants of Theorem 1 hold
+/// *unconditionally* — sampling only ever changes how much work a
+/// maintenance pass costs, never what the reservoir retains:
+///
+///   * kept ≥ q  ⇒  at least q live items compare strictly above the
+///     pivot, so raising Ψ to the pivot keeps Ψ ≤ q-th largest live.
+///   * kept ≤ q + slack  ⇒  the array shrinks by at least ⌈qγ⌉/2 slots,
+///     so maintenance frequency at most doubles versus exact.
+///   * a rejected attempt only *permuted* the array (std::partition),
+///     which the exact fallback re-partitions anyway.
+///
+/// Sample size: the kept count of a pivot taken at sample rank k is a
+/// binomial estimate with σ ≈ 0.4·n/√m, and the slack window has radius
+/// ⌈qγ⌉/4 around its center, so m ≈ 24·((1+γ)/γ)² puts the miss
+/// probability around the 3σ tail — independent of q. Auto-sizing
+/// disables sampling entirely when 4m exceeds the array (tiny reservoirs
+/// gain nothing); an explicit Options::sample_size forces sampling on at
+/// that size, which is how bench_abl_sampled sweeps the tradeoff and the
+/// adversarial tests force fallbacks.
+template <typename VP>
+struct SampledMaintenance {
+  using EntryT = typename VP::EntryT;
+  using Id = decltype(EntryT{}.id);
+  using Value = decltype(EntryT{}.val);
+  using EvictCallback = std::function<void(const EntryT&)>;
+
+  struct Options {
+    double gamma = 0.25;
+    /// 0 = auto (derived from γ as above, or exact when the array is too
+    /// small to out-run the sample). Nonzero forces sampling at this size.
+    std::size_t sample_size = 0;
+    /// Deterministic sampling stream; reset() re-seeds so a reset
+    /// reservoir replays a fresh instance exactly.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  /// Gated instruments (no-ops unless -DQMAX_TELEMETRY=ON). The
+  /// sampled/fallback split is additionally kept in plain counters
+  /// (sampled_passes_/exact_fallbacks_) so tests and benches can read it
+  /// in any build.
+  struct Telemetry {
+    telemetry::Counter maintenance_passes;  // all maintenance sweeps
+    telemetry::Counter sampled_evictions;   // pivot estimate accepted
+    telemetry::Counter exact_fallbacks;     // slack miss -> partition_top
+    telemetry::Counter evicted_items;
+    telemetry::Counter batch_calls;         // add_batch invocations
+    telemetry::Counter prefilter_rejected;  // items screened out by Ψ
+    telemetry::Counter screen_mode_switches; // adaptive screen on/off flips
+    telemetry::Histogram evict_batch_size;  // items dropped per sweep
+    telemetry::Histogram batch_survivors;   // prefilter survivors per batch
+    telemetry::Histogram sampled_kept;      // kept count per sampled attempt
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("maintenance_passes", maintenance_passes);
+      fn("sampled_evictions", sampled_evictions);
+      fn("exact_fallbacks", exact_fallbacks);
+      fn("evicted_items", evicted_items);
+      fn("batch_calls", batch_calls);
+      fn("prefilter_rejected", prefilter_rejected);
+      fn("screen_mode_switches", screen_mode_switches);
+      fn("evict_batch_size", evict_batch_size);
+      fn("batch_survivors", batch_survivors);
+      fn("sampled_kept", sampled_kept);
+    }
+    void reset() noexcept {
+      maintenance_passes.reset();
+      sampled_evictions.reset();
+      exact_fallbacks.reset();
+      evicted_items.reset();
+      batch_calls.reset();
+      prefilter_rejected.reset();
+      screen_mode_switches.reset();
+      evict_batch_size.reset();
+      batch_survivors.reset();
+      sampled_kept.reset();
+    }
+  };
+
+  SampledMaintenance(std::size_t q, Options opts, const char* who)
+      : q_(q), seed_(opts.seed), rng_(opts.seed) {
+    common::validate_q_gamma(q, opts.gamma, who);
+    fault::maybe_fail_alloc();
+    gamma_ = opts.gamma;
+    std::size_t extra = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(q) * opts.gamma));
+    if (extra == 0) extra = 1;
+    arr_.reserve(q_ + extra);
+    cap_ = q_ + extra;
+    slack_ = extra / 2;
+    if (opts.sample_size != 0) {
+      sample_size_ = std::min(opts.sample_size, cap_);
+      use_sampling_ = true;
+    } else {
+      const double ratio = (1.0 + gamma_) / gamma_;
+      const double want = 24.0 * ratio * ratio;
+      sample_size_ = static_cast<std::size_t>(
+          std::min(want, static_cast<double>(cap_)));
+      // The estimate must be materially cheaper than the exact pass it
+      // replaces; otherwise (small q, tiny γ) stay exact.
+      use_sampling_ = sample_size_ >= 1 && sample_size_ * 4 <= cap_;
+    }
+    if (sample_size_ == 0) sample_size_ = 1;
+    sample_.reserve(sample_size_);
+  }
+
+  [[nodiscard]] Value psi() const noexcept { return psi_; }
+
+  /// See DeamortizedMaintenance::raise_psi_floor: fold an externally
+  /// proved global bound into the admission gate. Both eviction paths
+  /// max-combine into Ψ, so a folded bound composes with later raises.
+  void raise_psi_floor(Value v) noexcept {
+    if (v > ext_floor_) ext_floor_ = v;
+    if (v > psi_) psi_ = v;
+  }
+
+  void admit(Id id, Value val) {
+    arr_.push_back(EntryT{id, val});
+    if (arr_.size() == cap_) maintain();
+  }
+
+  void maintain() {
+    [[maybe_unused]] telemetry::Span trace_span(
+        telemetry::Stage::kMaintenance);
+    tm_.maintenance_passes.inc();
+    if (use_sampling_) {
+      {
+        [[maybe_unused]] telemetry::Span sampled_span(
+            telemetry::Stage::kSampledPivot);
+        if (try_sampled_evict()) {
+          ++sampled_passes_;
+          tm_.sampled_evictions.inc();
+          return;
+        }
+      }
+      ++exact_fallbacks_;
+      tm_.exact_fallbacks.inc();
+      [[maybe_unused]] telemetry::Span fallback_span(
+          telemetry::Stage::kExactFallback);
+      exact_evict();
+    } else {
+      exact_evict();
+    }
+  }
+
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& e : arr_) fn(e);
+  }
+
+  void gather(std::vector<EntryT>& buf) const {
+    buf.clear();
+    buf.insert(buf.end(), arr_.begin(), arr_.end());
+  }
+
+  void reset() noexcept {
+    arr_.clear();
+    psi_ = VP::empty();
+    ext_floor_ = VP::empty();
+    rng_ = common::Xoshiro256(seed_);
+    sampled_passes_ = 0;
+    exact_fallbacks_ = 0;
+    tm_.reset();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] std::size_t sample_size() const noexcept {
+    return sample_size_;
+  }
+  [[nodiscard]] std::size_t slack() const noexcept { return slack_; }
+  [[nodiscard]] bool sampling_enabled() const noexcept {
+    return use_sampling_;
+  }
+  [[nodiscard]] std::uint64_t sampled_passes() const noexcept {
+    return sampled_passes_;
+  }
+  [[nodiscard]] std::uint64_t exact_fallbacks() const noexcept {
+    return exact_fallbacks_;
+  }
+
+ private:
+  /// One sampled maintenance attempt. Returns true iff the pivot estimate
+  /// landed inside the slack window and the eviction was committed.
+  bool try_sampled_evict() {
+    const std::size_t n = arr_.size();
+    sample_.clear();
+    for (std::size_t i = 0; i < sample_size_; ++i) {
+      sample_.push_back(arr_[rng_.bounded(n)].val);
+    }
+    Value pivot;
+    if (sample_size_ >= 2) {
+      // Aim the pivot at descending rank q + slack/2 — the center of the
+      // acceptance window — scaled into the sample: a value at sample
+      // rank k estimates population rank k·n/m.
+      const double target = static_cast<double>(q_) +
+                            static_cast<double>(slack_) / 2.0;
+      const double scaled = target * static_cast<double>(sample_size_) /
+                            static_cast<double>(n);
+      std::size_t k = static_cast<std::size_t>(scaled + 0.5);
+      k = std::max<std::size_t>(1, std::min(k, sample_size_ - 1));
+      partition_top(sample_.begin(), k, sample_.end(), std::greater<Value>{});
+      pivot = sample_[k - 1];
+    } else {
+      pivot = sample_[0];
+    }
+    const auto mid =
+        std::partition(arr_.begin(), arr_.end(),
+                       [pivot](const EntryT& e) { return e.val > pivot; });
+    const std::size_t kept =
+        static_cast<std::size_t>(mid - arr_.begin());
+    tm_.sampled_kept.record(kept);
+    if (kept < q_ || kept > q_ + slack_) return false;
+    // Commit. Every kept item compares strictly above the pivot and
+    // kept ≥ q, so the pivot is a valid (monotone) admission bound.
+    if (pivot > psi_) psi_ = pivot;
+    if (on_evict_) {
+      for (std::size_t i = kept; i < arr_.size(); ++i) on_evict_(arr_[i]);
+    }
+    const std::size_t batch = arr_.size() - kept;
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
+    arr_.resize(kept);
+    return true;
+  }
+
+  /// The exact Algorithm-2 pass (identical to AmortizedMaintenance):
+  /// partition at q, raise Ψ to the q-th largest, evict the suffix.
+  void exact_evict() {
+    partition_top(arr_.begin(), q_, arr_.end(),
+                  typename VP::Order{.descending = true});
+    psi_ = std::max(psi_, arr_[q_ - 1].val);
+    if (on_evict_) {
+      for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
+    }
+    const std::size_t batch = arr_.size() - q_;
+    tm_.evicted_items.inc(batch);
+    tm_.evict_batch_size.record(batch);
+    arr_.resize(q_);
+  }
+
+ public:
+  std::size_t q_;
+  double gamma_ = 0.0;
+  std::size_t cap_ = 0;
+  std::size_t slack_ = 0;        // accepted over-keep beyond q
+  std::size_t sample_size_ = 0;  // pivot sample draw count (m)
+  bool use_sampling_ = false;
+  std::uint64_t seed_ = 0;
+  std::uint64_t sampled_passes_ = 0;   // accepted pivot estimates
+  std::uint64_t exact_fallbacks_ = 0;  // slack misses -> exact pass
+  std::vector<EntryT> arr_;
+  std::vector<Value> sample_;  // pivot sample scratch (reused)
+  Value psi_ = VP::empty();
+  Value ext_floor_ = VP::empty();  // highest externally folded bound
+  common::Xoshiro256 rng_;
+  [[no_unique_address]] Telemetry tm_;
+  EvictCallback on_evict_;
+};
+
 // ---------------------------------------------------------------------
 // ReservoirCore
 // ---------------------------------------------------------------------
@@ -576,7 +852,11 @@ class ReservoirCore {
     // the first add_batch() allocates mid-measurement.
     scratch_.reserve(maint_.capacity());
     batch_idx_.resize(batch::kPrefilterBlock);
-    if constexpr (!WindowPolicy::kIdentity) {
+    if constexpr (WindowPolicy::kIdentity) {
+      // Split-layout scratch: the entry-span overload deinterleaves
+      // values here so the prefilter runs SIMD over contiguous doubles.
+      batch_vals_.resize(batch::kPrefilterBlock);
+    } else {
       batch_ids_.resize(batch::kPrefilterBlock);
       batch_keys_.resize(batch::kPrefilterBlock);
     }
@@ -635,7 +915,11 @@ class ReservoirCore {
 
   /// add_batch over pre-paired entries (the window variants feed their
   /// merge buffers through this overload). Identity windows only: entry
-  /// values are already in the reservoir's key domain.
+  /// values are already in the reservoir's key domain. When the adaptive
+  /// governor has the screen on, each block's values are deinterleaved
+  /// into the contiguous scratch (the gather-free split layout) and the
+  /// SIMD prefilter compacts survivor indices; ids are only read for
+  /// survivors. Scalar mode walks the entries directly.
   std::size_t add_batch(std::span<const EntryT> items)
     requires(WindowPolicy::kIdentity)
   {
@@ -644,27 +928,42 @@ class ReservoirCore {
     processed_ += n;
     maint_.tm_.batch_calls.inc();
     std::size_t admitted_in_batch = 0;
-    std::size_t survivors_in_batch = 0;
-    for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
-      const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
-      std::size_t survivors;
-      {
-        [[maybe_unused]] telemetry::Span prefilter_span(
-            telemetry::Stage::kPrefilter);
-        survivors = batch::prefilter_above(items.data() + base, m,
-                                           maint_.psi(), batch_idx_.data());
+    std::size_t rejected_in_batch = 0;
+    if (screen_gov_.screen_enabled()) {
+      for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
+        const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
+        std::size_t survivors;
+        {
+          [[maybe_unused]] telemetry::Span prefilter_span(
+              telemetry::Stage::kPrefilter);
+          survivors =
+              batch::prefilter_above(items.data() + base, m, maint_.psi(),
+                                     batch_idx_.data(), batch_vals_.data());
+        }
+        rejected_in_batch += m - survivors;
+        for (std::size_t s = 0; s < survivors; ++s) {
+          const EntryT& e = items[base + batch_idx_[s]];
+          if (!(e.val > maint_.psi())) continue;
+          maint_.admit(e.id, e.val);
+          ++admitted_in_batch;
+        }
       }
-      maint_.tm_.prefilter_rejected.inc(m - survivors);
-      survivors_in_batch += survivors;
-      for (std::size_t s = 0; s < survivors; ++s) {
-        const EntryT& e = items[base + batch_idx_[s]];
-        if (!(e.val > maint_.psi())) continue;
+    } else {
+      for (const EntryT& e : items) {
+        if (!(e.val > maint_.psi())) {
+          ++rejected_in_batch;
+          continue;
+        }
         maint_.admit(e.id, e.val);
         ++admitted_in_batch;
       }
     }
     admitted_ += admitted_in_batch;
-    maint_.tm_.batch_survivors.record(survivors_in_batch);
+    maint_.tm_.prefilter_rejected.inc(rejected_in_batch);
+    maint_.tm_.batch_survivors.record(n - rejected_in_batch);
+    if (screen_gov_.observe(n, rejected_in_batch)) {
+      maint_.tm_.screen_mode_switches.inc();
+    }
     return admitted_in_batch;
   }
 
@@ -727,6 +1026,7 @@ class ReservoirCore {
     maint_.reset();
     processed_ = 0;
     admitted_ = 0;
+    screen_gov_.reset();
   }
 
   void set_evict_callback(EvictCallback cb) {
@@ -754,11 +1054,43 @@ class ReservoirCore {
   [[nodiscard]] const WindowPolicy& window_policy() const noexcept {
     return window_;
   }
+  /// Adaptive batch screen: whether the lane screen is currently engaged
+  /// and how many times the governor has flipped it (plain counters,
+  /// available in every build).
+  [[nodiscard]] bool screen_enabled() const noexcept {
+    return screen_gov_.screen_enabled();
+  }
+  [[nodiscard]] std::uint64_t screen_switches() const noexcept {
+    return screen_gov_.switches();
+  }
+  /// Sampled maintenance only (absent otherwise): accepted pivot
+  /// estimates, slack-miss fallbacks to the exact pass, and the resolved
+  /// sampling configuration.
+  [[nodiscard]] std::uint64_t sampled_passes() const noexcept
+    requires requires(const MaintenancePolicy& m) { m.sampled_passes(); }
+  {
+    return maint_.sampled_passes();
+  }
+  [[nodiscard]] std::uint64_t exact_fallbacks() const noexcept
+    requires requires(const MaintenancePolicy& m) { m.exact_fallbacks(); }
+  {
+    return maint_.exact_fallbacks();
+  }
+  [[nodiscard]] std::size_t sample_size() const noexcept
+    requires requires(const MaintenancePolicy& m) { m.sample_size(); }
+  {
+    return maint_.sample_size();
+  }
+  [[nodiscard]] bool sampling_enabled() const noexcept
+    requires requires(const MaintenancePolicy& m) { m.sampling_enabled(); }
+  {
+    return maint_.sampling_enabled();
+  }
 
  private:
   friend struct ::qmax::InvariantAccess;
 
-  /// The identity-domain screened ingestion shared by both maintenance
+  /// The identity-domain screened ingestion shared by all maintenance
   /// policies and both batch entry points: a whole-lane reject test
   /// against the *live* Ψ skips 16-item runs of rejected items with a few
   /// packed compares; surviving lanes run the exact scalar admission code
@@ -766,7 +1098,12 @@ class ReservoirCore {
   /// a Ψ raised mid-lane immediately tightens both the item test and the
   /// next lane's screen. (The screen is conservative the other way too:
   /// Ψ is monotone, so a lane rejected against the current bound could
-  /// never have produced an admission later in the batch.)
+  /// never have produced an admission later in the batch.) The screen
+  /// itself is adaptive: the ScreenGovernor watches the observed
+  /// rejection rate and drops to a plain scalar walk (identical
+  /// admissions, no lane setup) while the rate is too low to pay for the
+  /// vector pass — warmup, admission-heavy streams — re-engaging once
+  /// rejection dominates. The SIMD tier is hoisted once per call.
   std::size_t add_screened(const Id* ids, const Value* vals, std::size_t n) {
     [[maybe_unused]] telemetry::Span trace_span(telemetry::Stage::kAddBatch);
     processed_ += n;
@@ -774,22 +1111,28 @@ class ReservoirCore {
     std::size_t admitted_in_batch = 0;
     std::size_t screened = 0;
     std::size_t j = 0;
-    for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
-      if (!batch::lane_any_above(vals + j, maint_.psi())) {
-        screened += batch::kScreenLane;
-        continue;
-      }
-      // Walk only the set bits. The mask is a snapshot, so each candidate
-      // is re-tested against the live Ψ before admission (a Ψ raised by a
-      // mid-lane admit rejects exactly the items scalar add() would).
-      unsigned mask = batch::lane_mask_above(vals + j, maint_.psi());
-      while (mask != 0) {
-        const std::size_t k =
-            j + static_cast<std::size_t>(std::countr_zero(mask));
-        mask &= mask - 1;
-        if (!(vals[k] > maint_.psi())) continue;
-        maint_.admit(ids[k], vals[k]);
-        ++admitted_in_batch;
+    if (screen_gov_.screen_enabled()) {
+      const batch::SimdTier tier = batch::simd_active_tier();
+      for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
+        if (!batch::lane_any_above(vals + j, maint_.psi(), tier)) {
+          screened += batch::kScreenLane;
+          continue;
+        }
+        // Walk only the set bits. The mask is a snapshot, so each
+        // candidate is re-tested against the live Ψ before admission (a Ψ
+        // raised by a mid-lane admit rejects exactly the items scalar
+        // add() would).
+        unsigned mask = batch::lane_mask_above(vals + j, maint_.psi(), tier);
+        screened += batch::kScreenLane -
+                    static_cast<std::size_t>(std::popcount(mask));
+        while (mask != 0) {
+          const std::size_t k =
+              j + static_cast<std::size_t>(std::countr_zero(mask));
+          mask &= mask - 1;
+          if (!(vals[k] > maint_.psi())) continue;
+          maint_.admit(ids[k], vals[k]);
+          ++admitted_in_batch;
+        }
       }
     }
     for (; j < n; ++j) {
@@ -803,6 +1146,9 @@ class ReservoirCore {
     admitted_ += admitted_in_batch;
     maint_.tm_.prefilter_rejected.inc(screened);
     maint_.tm_.batch_survivors.record(n - screened);
+    if (screen_gov_.observe(n, screened)) {
+      maint_.tm_.screen_mode_switches.inc();
+    }
     return admitted_in_batch;
   }
 
@@ -811,8 +1157,10 @@ class ReservoirCore {
   MaintenancePolicy maint_;
   std::uint64_t processed_ = 0;
   std::uint64_t admitted_ = 0;
+  batch::ScreenGovernor screen_gov_;      // adaptive lane-screen mode
   mutable std::vector<EntryT> scratch_;   // query gather buffer (reused)
   std::vector<std::uint32_t> batch_idx_;  // prefilter survivor indices
+  std::vector<Value> batch_vals_;         // identity: split-layout values
   std::vector<Id> batch_ids_;             // non-identity windows: valid-item
   std::vector<Value> batch_keys_;         //   compaction scratch per run
 };

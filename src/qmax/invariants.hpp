@@ -40,6 +40,7 @@
 #include "qmax/entry.hpp"
 #include "qmax/exp_decay.hpp"
 #include "qmax/qmax.hpp"
+#include "qmax/sampled_qmax.hpp"
 #include "qmax/sliding.hpp"
 #include "qmax/time_sliding.hpp"
 
@@ -77,6 +78,17 @@ template <typename>
 inline constexpr bool is_amortized_v = false;
 template <typename Id, typename V>
 inline constexpr bool is_amortized_v<AmortizedQMax<Id, V>> = true;
+
+template <typename>
+inline constexpr bool is_sampled_v = false;
+template <typename Id, typename V>
+inline constexpr bool is_sampled_v<SampledQMax<Id, V>> = true;
+
+template <typename>
+inline constexpr bool is_sampled_maintenance_v = false;
+template <typename VP>
+inline constexpr bool
+    is_sampled_maintenance_v<core::SampledMaintenance<VP>> = true;
 
 template <typename>
 inline constexpr bool is_deamortized_maintenance_v = false;
@@ -208,6 +220,36 @@ struct InvariantAccess {
       }
 
       a.expect(m.arr_.size() <= r.admitted_, ctx + "live exceeds admitted");
+
+      if constexpr (invariant_detail::is_sampled_maintenance_v<MP>) {
+        // Sampled-pivot deltas. The slack window must leave real eviction
+        // progress (a commit sheds at least cap - q - slack items), the
+        // bookkeeping counters must tile the maintenance count, and a
+        // committed pivot keeps every live item at or above Ψ: the exact
+        // pass retains the q-th largest == Ψ, the sampled pass retains
+        // only items strictly above the pivot it raised Ψ to. (An
+        // externally folded bound may sit above the local items — then
+        // ext_floor_ == Ψ and the guarantee belongs to the broadcast
+        // group, as in the Theorem 1 relaxation above.)
+        a.expect(r.q_ + m.slack_ < m.cap_,
+                 ctx + "slack window must stay below capacity");
+        a.expect(m.sample_size_ >= 1,
+                 ctx + "sample size must be positive");
+        if (!m.use_sampling_) {
+          a.expect(m.sampled_passes_ == 0,
+                   ctx + "sampled passes recorded with sampling disabled");
+        }
+        if (m.psi_ != kEmptyValue<V> && m.ext_floor_ < m.psi_) {
+          for (const auto& e : m.arr_) {
+            if (e.val < m.psi_) {
+              a.expect(false,
+                       ctx + "live item below the admission bound under "
+                             "sampled maintenance");
+              break;
+            }
+          }
+        }
+      }
     }
 
     a.expect(r.admitted_ <= r.processed_, ctx + "admitted exceeds processed");
@@ -330,7 +372,8 @@ struct InvariantAccess {
   static void audit_block(const R& r, AuditResult& a,
                           const std::string& ctx) {
     if constexpr (invariant_detail::is_qmax_v<R> ||
-                  invariant_detail::is_amortized_v<R>) {
+                  invariant_detail::is_amortized_v<R> ||
+                  invariant_detail::is_sampled_v<R>) {
       audit(r, a, ctx);
     } else if constexpr (requires(std::vector<typename R::EntryT>& out) {
                            r.query_into(out);

@@ -1,0 +1,56 @@
+// Sampled-pivot q-MAX — Algorithm 2 with the maintenance pivot estimated
+// from a uniform sample of the occupied slots (SQUID/SQUAD-style; see
+// PAPERS.md) instead of an exact selection over the whole array.
+//
+// Maintenance drops from one partition_top pass over q + ⌈qγ⌉ entries to
+// (a) m ≈ 24·((1+γ)/γ)² random value draws, (b) one partition_top over
+// the m-value sample, and (c) one std::partition sweep against the
+// estimated pivot. The estimate is accepted only when the kept count
+// lands inside the slack window [q, q + ⌈qγ⌉/2]; otherwise the exact
+// pass runs as a fallback — so query results are *exactly* the true
+// top q in every case, and only maintenance cost varies. The
+// accuracy/speed tradeoff (sample size × γ × q) is swept in
+// bench/bench_abl_sampled.cpp.
+//
+// Policy composition over core::ReservoirCore:
+//   MaxValuePolicy × LandmarkWindow × SampledMaintenance.
+// The (q, Options) constructor satisfies ShardedQMax's Core contract, so
+// ShardedQMax<SampledQMax<>> shards the sampled variant unchanged, and
+// the Reservoir concept keeps SlackQMax<SampledQMax<>> working.
+#pragma once
+
+#include <cstdint>
+
+#include "qmax/core.hpp"
+
+namespace qmax {
+
+namespace detail {
+template <typename Id, typename Value>
+using SampledQMaxBase =
+    core::ReservoirCore<core::MaxValuePolicy<Id, Value>, core::LandmarkWindow,
+                        core::SampledMaintenance<
+                            core::MaxValuePolicy<Id, Value>>>;
+}  // namespace detail
+
+template <typename Id = std::uint64_t, typename Value = double>
+class SampledQMax : public detail::SampledQMaxBase<Id, Value> {
+  using Base = detail::SampledQMaxBase<Id, Value>;
+
+ public:
+  using EntryT = typename Base::EntryT;
+  using EvictCallback = typename Base::EvictCallback;
+  using Options = typename Base::Options;
+  using Telemetry = typename Base::Telemetry;
+
+  /// sample_size 0 = auto (derived from γ; exact when the array is too
+  /// small for sampling to pay). Nonzero forces sampling at that size.
+  explicit SampledQMax(std::size_t q, double gamma = 0.25,
+                       std::size_t sample_size = 0)
+      : SampledQMax(q, Options{.gamma = gamma, .sample_size = sample_size}) {}
+
+  explicit SampledQMax(std::size_t q, Options opts = {})
+      : Base(q, opts, {}, "SampledQMax") {}
+};
+
+}  // namespace qmax

@@ -1,0 +1,144 @@
+// Runtime SIMD tier selection for the batched-ingestion prefilter.
+//
+// batch.hpp used to hard-wire SSE2 (the x86-64 baseline ISA, so no -march
+// flags needed). Wider lanes help the rejection-dominated steady state —
+// one AVX-512 compare screens 8 doubles, so a 16-value lane costs two
+// compares instead of eight — but a binary built with -mavx512f cannot run
+// on a plain x86-64 host. This header resolves that the usual way:
+// compile every kernel with per-function target attributes (so the
+// default build carries them all), probe the CPU once at startup, and
+// dispatch per lane on a cached tier.
+//
+// Tier resolution, highest wins:
+//   1. force_tier() — an in-process override used by the forced-tier
+//      differential tests; clamped to what the CPU supports.
+//   2. QMAX_SIMD env var ("scalar" | "sse2" | "avx2" | "avx512"), also
+//      clamped; unrecognized values fall through to auto-detection.
+//   3. __builtin_cpu_supports probes, best available.
+// Clamping means forcing "avx512" on an AVX2-only host silently runs the
+// AVX2 kernels instead of faulting — the forced-tier CI matrix relies on
+// this to run the same test list on any runner.
+//
+// Non-x86 / non-GNU builds compile to kScalar unconditionally; the
+// generic templates in batch.hpp remain the only kernels.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define QMAX_SIMD_X86 1
+#else
+#define QMAX_SIMD_X86 0
+#endif
+
+namespace qmax::batch {
+
+/// The dispatchable prefilter kernel families, ordered by width. The
+/// numeric order is meaningful: clamping picks min(requested, supported).
+enum class SimdTier : std::uint8_t {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+[[nodiscard]] constexpr const char* simd_tier_name(SimdTier t) noexcept {
+  switch (t) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kSse2: return "sse2";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+/// Parse a tier name (the QMAX_SIMD vocabulary). Returns true and writes
+/// `out` on a match; unknown strings leave `out` untouched.
+[[nodiscard]] inline bool simd_tier_from_name(const char* name,
+                                              SimdTier& out) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) { out = SimdTier::kScalar; return true; }
+  if (std::strcmp(name, "sse2") == 0) { out = SimdTier::kSse2; return true; }
+  if (std::strcmp(name, "avx2") == 0) { out = SimdTier::kAvx2; return true; }
+  if (std::strcmp(name, "avx512") == 0) { out = SimdTier::kAvx512; return true; }
+  return false;
+}
+
+/// Widest tier this CPU can execute. Probed once; the result never
+/// changes over a process lifetime.
+[[nodiscard]] inline SimdTier simd_max_supported_tier() noexcept {
+#if QMAX_SIMD_X86
+  static const SimdTier tier = [] {
+    if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#if defined(__x86_64__)
+    return SimdTier::kSse2;  // baseline ISA on x86-64
+#else
+    return __builtin_cpu_supports("sse2") ? SimdTier::kSse2
+                                          : SimdTier::kScalar;
+#endif
+  }();
+  return tier;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+namespace simd_detail {
+
+[[nodiscard]] inline SimdTier clamp_to_supported(SimdTier t) noexcept {
+  const SimdTier cap = simd_max_supported_tier();
+  return t <= cap ? t : cap;
+}
+
+[[nodiscard]] inline SimdTier tier_from_env_or_cpu() noexcept {
+  SimdTier want = simd_max_supported_tier();
+  if (const char* v = std::getenv("QMAX_SIMD"); v != nullptr && *v != '\0') {
+    SimdTier parsed{};
+    if (simd_tier_from_name(v, parsed)) want = clamp_to_supported(parsed);
+  }
+  return want;
+}
+
+/// The cached dispatch decision. -1 = not yet resolved; resolved lazily
+/// on the first active_tier() call so a force_tier() before any ingestion
+/// wins over the env var. Relaxed atomics: racing initializations compute
+/// the same value, and per-lane readers need no ordering.
+[[nodiscard]] inline std::atomic<int>& tier_state() noexcept {
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace simd_detail
+
+/// The tier the prefilter kernels dispatch on right now. One relaxed
+/// atomic load on the hot path (per 16-value lane, not per item).
+[[nodiscard]] inline SimdTier simd_active_tier() noexcept {
+  int t = simd_detail::tier_state().load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(simd_detail::tier_from_env_or_cpu());
+    simd_detail::tier_state().store(t, std::memory_order_relaxed);
+  }
+  return static_cast<SimdTier>(t);
+}
+
+/// Force a tier in-process (tests switch tiers without re-exec'ing).
+/// Clamped to CPU support; returns the tier actually installed.
+inline SimdTier simd_force_tier(SimdTier t) noexcept {
+  const SimdTier applied = simd_detail::clamp_to_supported(t);
+  simd_detail::tier_state().store(static_cast<int>(applied),
+                                  std::memory_order_relaxed);
+  return applied;
+}
+
+/// Drop any force and re-resolve from QMAX_SIMD / CPU probes.
+inline SimdTier simd_reset_tier() noexcept {
+  const SimdTier t = simd_detail::tier_from_env_or_cpu();
+  simd_detail::tier_state().store(static_cast<int>(t),
+                                  std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace qmax::batch

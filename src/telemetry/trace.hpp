@@ -58,6 +58,8 @@ enum class Stage : std::uint8_t {
   kAddBatch,        // screened/entry batch ingestion
   kPrefilter,       // SIMD Ψ prefilter over an entry batch
   kMaintenance,     // ParityEngine iteration end / amortized maintain()
+  kSampledPivot,    // SampledMaintenance: sample + pivot-partition attempt
+  kExactFallback,   // SampledMaintenance: exact pass after a slack miss
   kPartitionTop,    // core::partition_top (the one selection primitive)
   kPsiPublish,      // shard pushes a new local Ψ into the broadcast
   kPsiFold,         // shard folds the broadcast Ψ into its gate
@@ -77,6 +79,8 @@ inline constexpr std::size_t kStageCount =
     case Stage::kAddBatch: return "add_batch";
     case Stage::kPrefilter: return "prefilter";
     case Stage::kMaintenance: return "maintenance";
+    case Stage::kSampledPivot: return "sampled_pivot";
+    case Stage::kExactFallback: return "exact_fallback";
     case Stage::kPartitionTop: return "partition_top";
     case Stage::kPsiPublish: return "psi_publish";
     case Stage::kPsiFold: return "psi_fold";

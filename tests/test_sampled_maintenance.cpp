@@ -1,0 +1,330 @@
+// SampledMaintenance differential suite: the sampled-pivot policy must
+// return *exactly* the true top q — sampling is a maintenance-cost
+// optimization, never an accuracy tradeoff, because an estimate outside
+// the γ slack window falls back to the exact partition pass. Twin
+// reservoirs (SampledQMax vs the exact AmortizedQMax) consume identical
+// uniform / Zipf / tie-heavy / NaN-laced streams and must agree on the
+// query value multiset at every checkpoint, with the white-box invariant
+// audit green throughout. Adversarial tie streams force the slack miss
+// and prove the exact fallback fires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/invariants.hpp"
+#include "qmax/sampled_qmax.hpp"
+#include "qmax/sharded.hpp"
+#include "qmax/sliding.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::SampledQMax;
+using qmax::check_invariants;
+using qmax::common::Xoshiro256;
+using qmax::common::ZipfGenerator;
+
+template <typename R>
+std::vector<double> snapshot(const R& r) {
+  std::vector<double> v;
+  for (const auto& e : r.query()) v.push_back(e.val);
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+enum class StreamKind { kUniform, kZipf, kTieHeavy, kNanLaced };
+
+std::vector<double> make_stream(StreamKind kind, std::size_t n,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  switch (kind) {
+    case StreamKind::kUniform:
+      for (auto& x : v) x = rng.uniform() * 1e9;
+      break;
+    case StreamKind::kZipf: {
+      // Heavy-tailed flow sizes: many ties among the small ranks, a few
+      // very large values — the pivot estimate sees clumpy mass.
+      ZipfGenerator zipf(1u << 20, 1.05);
+      for (auto& x : v) x = static_cast<double>(zipf(rng));
+      break;
+    }
+    case StreamKind::kTieHeavy:
+      // 16 distinct values: the pivot lands on a tie plateau almost
+      // every time, exercising both accepted estimates and slack misses.
+      for (auto& x : v) x = static_cast<double>(rng.bounded(16));
+      break;
+    case StreamKind::kNanLaced:
+      for (auto& x : v) {
+        const double dice = rng.uniform();
+        if (dice < 0.1) {
+          x = std::numeric_limits<double>::quiet_NaN();
+        } else if (dice < 0.15) {
+          x = qmax::kEmptyValue<double>;
+        } else {
+          x = rng.uniform() * 1e9;
+        }
+      }
+      break;
+  }
+  return v;
+}
+
+struct SampledParam {
+  std::uint64_t seed;
+  std::size_t q;
+  double gamma;
+  std::size_t n;
+  StreamKind kind;
+  std::size_t sample_size;  // 0 = auto
+};
+
+class SampledDifferential : public ::testing::TestWithParam<SampledParam> {};
+
+TEST_P(SampledDifferential, TopQMatchesExactPolicy) {
+  const auto p = GetParam();
+  const std::vector<double> stream = make_stream(p.kind, p.n, p.seed);
+
+  SampledQMax<> sampled(p.q, p.gamma, p.sample_size);
+  AmortizedQMax<> exact(p.q, p.gamma);
+
+  const std::size_t checkpoint = p.n / 7 + 1;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    sampled.add(i, stream[i]);
+    exact.add(i, stream[i]);
+    if ((i + 1) % checkpoint == 0) {
+      const auto audit = check_invariants(sampled);
+      ASSERT_TRUE(audit.ok()) << "at item " << i << ":\n"
+                              << audit.to_string();
+      ASSERT_EQ(snapshot(sampled), snapshot(exact)) << "at item " << i;
+    }
+  }
+
+  const auto audit = check_invariants(sampled);
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
+  EXPECT_EQ(snapshot(sampled), snapshot(exact));
+  EXPECT_EQ(sampled.processed(), exact.processed());
+  // The reservoir never holds more than q + slack items after a
+  // maintenance pass, and the two policies admit under the same gate
+  // until their Ψ trajectories diverge (which ties/sampling allow).
+  EXPECT_LE(sampled.live_count(), sampled.capacity());
+  if (sampled.sampling_enabled()) {
+    // Maintenance must actually run through the sampled path; the
+    // differential above proves doing so never cost accuracy.
+    EXPECT_GT(sampled.sampled_passes() + sampled.exact_fallbacks(), 0u);
+  } else {
+    EXPECT_EQ(sampled.sampled_passes(), 0u);
+  }
+}
+
+std::vector<SampledParam> sampled_grid() {
+  std::vector<SampledParam> g;
+  std::uint64_t seed = 7001;
+  for (const StreamKind kind :
+       {StreamKind::kUniform, StreamKind::kZipf, StreamKind::kTieHeavy,
+        StreamKind::kNanLaced}) {
+    for (const double gamma : {0.05, 0.25, 1.0}) {
+      g.push_back(SampledParam{seed++, 1000, gamma, 150'000, kind, 0});
+    }
+    // Forced sample sizes: a tiny sample (frequent slack misses — the
+    // fallback path runs constantly) and a generous one.
+    g.push_back(SampledParam{seed++, 1000, 0.25, 150'000, kind, 64});
+    g.push_back(SampledParam{seed++, 1000, 0.25, 150'000, kind, 4096});
+  }
+  // Small-q reservoirs auto-disable sampling; the policy must degrade to
+  // plain Algorithm 2.
+  g.push_back(SampledParam{seed++, 10, 0.1, 20'000, StreamKind::kUniform, 0});
+  g.push_back(SampledParam{seed++, 1, 0.5, 5'000, StreamKind::kTieHeavy, 0});
+  return g;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampledDifferential, ::testing::ValuesIn(sampled_grid()),
+    [](const auto& param_info) {
+      const auto& p = param_info.param;
+      std::string name = "s";
+      name += std::to_string(p.seed);
+      name += "_q";
+      name += std::to_string(p.q);
+      name += "_g";
+      name += std::to_string(static_cast<int>(p.gamma * 100));
+      name += "_k";
+      name += std::to_string(static_cast<int>(p.kind));
+      name += "_m";
+      name += std::to_string(p.sample_size);
+      return name;
+    });
+
+// ---- Fallback behavior ------------------------------------------------
+
+// All-ties stream: the sampled pivot is necessarily the tie value, no
+// live item compares strictly above it, kept = 0 < q — the estimate
+// *must* be rejected and the exact partition_top pass must complete the
+// maintenance. This is the adversarial sample of the spec: sampling can
+// never commit here.
+TEST(SampledFallback, AllTiesForcesExactFallback) {
+  SampledQMax<> r(100, 0.25, /*sample_size=*/16);  // force sampling on
+  ASSERT_TRUE(r.sampling_enabled());
+  for (std::size_t i = 0; i < 10'000; ++i) r.add(i, 42.0);
+
+  EXPECT_EQ(r.sampled_passes(), 0u);
+  EXPECT_EQ(r.exact_fallbacks(), 1u);  // one fill, then Ψ=42 rejects all
+  EXPECT_EQ(r.threshold(), 42.0);
+  EXPECT_EQ(r.live_count(), 100u);
+  const auto audit = check_invariants(r);
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
+}
+
+// Escalating tie plateaus keep re-triggering maintenance with a pivot on
+// a plateau whose kept count falls far short of q: the fallback must fire
+// repeatedly, and the result must still equal the exact policy's.
+TEST(SampledFallback, EscalatingTiesFallBackRepeatedly) {
+  const std::size_t q = 100;
+  SampledQMax<> sampled(q, 0.25, /*sample_size=*/32);
+  AmortizedQMax<> exact(q, 0.25);
+  std::uint64_t id = 0;
+  for (int round = 1; round <= 50; ++round) {
+    for (int rep = 0; rep < 200; ++rep) {
+      const double v = static_cast<double>(round);
+      sampled.add(id, v);
+      exact.add(id, v);
+      ++id;
+    }
+  }
+  EXPECT_GT(sampled.exact_fallbacks(), 10u);
+  EXPECT_EQ(snapshot(sampled), snapshot(exact));
+  const auto audit = check_invariants(sampled);
+  EXPECT_TRUE(audit.ok()) << audit.to_string();
+}
+
+// Auto-sizing refuses to sample when the array is too small for the
+// sample to undercut the exact pass.
+TEST(SampledConfig, AutoDisablesSamplingOnTinyReservoirs) {
+  SampledQMax<> tiny(10, 0.1);
+  EXPECT_FALSE(tiny.sampling_enabled());
+  SampledQMax<> big(100'000, 0.25);
+  EXPECT_TRUE(big.sampling_enabled());
+  EXPECT_GE(big.sample_size(), 1u);
+  // The auto size is γ-derived, not q-derived: the same γ at a larger q
+  // keeps the same sample size.
+  SampledQMax<> bigger(1'000'000, 0.25);
+  EXPECT_EQ(big.sample_size(), bigger.sample_size());
+}
+
+// On a uniform stream with the auto sample size, nearly every
+// maintenance pass should commit the estimate — the fallback exists for
+// the tail, not the common case.
+TEST(SampledConfig, AutoSampleMostlyCommitsOnUniformStreams) {
+  SampledQMax<> r(20'000, 0.25);
+  ASSERT_TRUE(r.sampling_enabled());
+  Xoshiro256 rng(99);
+  for (std::size_t i = 0; i < 400'000; ++i) r.add(i, rng.uniform());
+  const std::uint64_t total = r.sampled_passes() + r.exact_fallbacks();
+  ASSERT_GT(total, 10u);
+  EXPECT_GE(r.sampled_passes() * 10, total * 9)
+      << "sampled=" << r.sampled_passes()
+      << " fallbacks=" << r.exact_fallbacks();
+}
+
+// Eviction-callback conservation: every admitted item is either live or
+// was reported exactly once to the eviction callback (the *sequence*
+// differs from the exact policy by design — the pivot pass evicts in
+// array order — but no item may be lost or double-reported).
+TEST(SampledConfig, EvictionCallbackConservation) {
+  SampledQMax<> r(500, 0.25);
+  std::uint64_t evicted = 0;
+  r.set_evict_callback([&](const qmax::Entry&) { ++evicted; });
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < 200'000; ++i) r.add(i, rng.uniform());
+  EXPECT_EQ(evicted + r.live_count(), r.admitted());
+}
+
+// reset() must behave like a freshly constructed instance, including the
+// deterministic sampling stream.
+TEST(SampledConfig, ResetEqualsFresh) {
+  const std::size_t q = 300;
+  SampledQMax<> reused(q, 0.25);
+  Xoshiro256 warm(13);
+  for (std::size_t i = 0; i < 50'000; ++i) reused.add(i, warm.uniform());
+  reused.reset();
+
+  SampledQMax<> fresh(q, 0.25);
+  Xoshiro256 rng1(17), rng2(17);
+  for (std::size_t i = 0; i < 80'000; ++i) {
+    reused.add(i, rng1.uniform());
+    fresh.add(i, rng2.uniform());
+  }
+  EXPECT_EQ(reused.threshold(), fresh.threshold());
+  EXPECT_EQ(reused.sampled_passes(), fresh.sampled_passes());
+  EXPECT_EQ(reused.exact_fallbacks(), fresh.exact_fallbacks());
+  EXPECT_EQ(snapshot(reused), snapshot(fresh));
+}
+
+// ---- Composition through the variant layers ---------------------------
+
+// The batched ingestion path must agree with scalar adds on the sampled
+// policy exactly as it does on the others.
+TEST(SampledComposition, BatchPathMatchesScalar) {
+  const std::size_t q = 1000;
+  SampledQMax<> scalar(q, 0.25);
+  SampledQMax<> batched(q, 0.25);
+  const auto stream = make_stream(StreamKind::kUniform, 300'000, 4242);
+  std::vector<std::uint64_t> ids(stream.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+
+  for (std::size_t i = 0; i < stream.size(); ++i) scalar.add(i, stream[i]);
+  for (std::size_t i = 0; i < stream.size(); i += 64) {
+    const std::size_t m = std::min<std::size_t>(64, stream.size() - i);
+    batched.add_batch(ids.data() + i, stream.data() + i, m);
+  }
+  EXPECT_EQ(scalar.threshold(), batched.threshold());
+  EXPECT_EQ(scalar.admitted(), batched.admitted());
+  EXPECT_EQ(snapshot(scalar), snapshot(batched));
+}
+
+TEST(SampledComposition, ShardedSampledMatchesExactReference) {
+  const std::size_t q = 500;
+  qmax::ShardedQMax<SampledQMax<>> sharded(
+      4, q, SampledQMax<>::Options{.gamma = 0.25});
+  AmortizedQMax<> reference(q, 0.25);
+  const auto stream = make_stream(StreamKind::kZipf, 200'000, 555);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    sharded.add(i % 4, i, stream[i]);
+    reference.add(i, stream[i]);
+  }
+  std::vector<double> merged;
+  for (const auto& e : sharded.query()) merged.push_back(e.val);
+  std::sort(merged.begin(), merged.end(), std::greater<>());
+  EXPECT_EQ(merged, snapshot(reference));
+}
+
+TEST(SampledComposition, SlackWindowOverSampledCores) {
+  const std::size_t q = 64;
+  qmax::SlackQMax<SampledQMax<>> sw(
+      1024, 0.25, [&] { return SampledQMax<>(q, 0.5); });
+  qmax::SlackQMax<AmortizedQMax<>> ref(
+      1024, 0.25, [&] { return AmortizedQMax<>(q, 0.5); });
+  Xoshiro256 rng(31);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const double v = rng.uniform() * 1e6;
+    sw.add(i, v);
+    ref.add(i, v);
+  }
+  auto vals = [](auto entries, std::size_t q_) {
+    std::vector<double> v;
+    for (const auto& e : entries) v.push_back(e.val);
+    std::sort(v.begin(), v.end(), std::greater<>());
+    if (v.size() > q_) v.resize(q_);
+    return v;
+  };
+  EXPECT_EQ(vals(sw.query(), q), vals(ref.query(), q));
+}
+
+}  // namespace

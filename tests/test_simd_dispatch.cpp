@@ -1,0 +1,341 @@
+// SIMD tier dispatch: every vector kernel (SSE2 / AVX2 / AVX-512F) must
+// reproduce the scalar reference *bit for bit* — same any-above verdict,
+// same survivor mask, same prefilter survivor index vector — on random,
+// NaN-laced, ±inf, kEmptyValue, and exact-tie inputs. The forced-tier
+// twin differential then re-runs the batch-vs-scalar equivalence once per
+// tier, so a kernel bug cannot hide behind dispatch. Tiers above what the
+// host CPU supports are clamped by simd_force_tier, so this suite runs
+// unchanged on any x86-64 runner (and degrades to scalar elsewhere).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/random.hpp"
+#include "qmax/amortized_qmax.hpp"
+#include "qmax/batch.hpp"
+#include "qmax/qmax.hpp"
+#include "qmax/sampled_qmax.hpp"
+#include "qmax/simd.hpp"
+
+namespace {
+
+using qmax::AmortizedQMax;
+using qmax::QMax;
+using qmax::SampledQMax;
+using qmax::batch::SimdTier;
+using qmax::batch::kScreenLane;
+using qmax::common::Xoshiro256;
+
+// Restore the ambient tier (env/CPU resolution) no matter how a test
+// exits, so forced tiers never leak into later tests.
+struct TierGuard {
+  ~TierGuard() { qmax::batch::simd_reset_tier(); }
+};
+
+// The tiers this host can actually execute. Clamping maps unsupported
+// requests onto the widest supported tier, so asking for each tier and
+// keeping the distinct results enumerates exactly the runnable set.
+std::vector<SimdTier> runnable_tiers() {
+  TierGuard guard;
+  std::vector<SimdTier> tiers;
+  for (const SimdTier want : {SimdTier::kScalar, SimdTier::kSse2,
+                              SimdTier::kAvx2, SimdTier::kAvx512}) {
+    const SimdTier got = qmax::batch::simd_force_tier(want);
+    if (tiers.empty() || tiers.back() != got) tiers.push_back(got);
+  }
+  return tiers;
+}
+
+// Adversarial value buffers for the lane kernels: NaN must never admit,
+// +inf must always admit (against finite Ψ), ties must reject (strict >),
+// and lane position must not matter.
+std::vector<std::vector<double>> adversarial_lanes(double psi) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> lanes;
+  lanes.push_back(std::vector<double>(kScreenLane, psi));         // all ties
+  lanes.push_back(std::vector<double>(kScreenLane, kNan));        // all NaN
+  lanes.push_back(std::vector<double>(kScreenLane, psi - 1.0));   // all below
+  lanes.push_back(std::vector<double>(kScreenLane, psi + 1.0));   // all above
+  lanes.push_back(std::vector<double>(kScreenLane, -kInf));
+  lanes.push_back(std::vector<double>(kScreenLane, kInf));
+  lanes.push_back(
+      std::vector<double>(kScreenLane, qmax::kEmptyValue<double>));
+  // Single survivor at each position, rest NaN (the gather-free screen
+  // must find it regardless of which sub-register it lands in).
+  for (std::size_t pos = 0; pos < kScreenLane; ++pos) {
+    std::vector<double> lane(kScreenLane, kNan);
+    lane[pos] = psi + 0.5;
+    lanes.push_back(std::move(lane));
+  }
+  // Alternating tie / above, and a mixed bag.
+  std::vector<double> alt(kScreenLane);
+  for (std::size_t k = 0; k < kScreenLane; ++k) {
+    alt[k] = (k % 2 == 0) ? psi : psi + static_cast<double>(k);
+  }
+  lanes.push_back(std::move(alt));
+  std::vector<double> mixed = {psi,  kNan, kInf,  -kInf, psi + 1, psi - 1,
+                               kNan, psi,  psi,   kInf,  psi - 2, psi + 2,
+                               kNan, -kInf, psi + 3, psi};
+  lanes.push_back(std::move(mixed));
+  return lanes;
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  for (const SimdTier t : {SimdTier::kScalar, SimdTier::kSse2,
+                           SimdTier::kAvx2, SimdTier::kAvx512}) {
+    SimdTier parsed{};
+    ASSERT_TRUE(
+        qmax::batch::simd_tier_from_name(qmax::batch::simd_tier_name(t),
+                                         parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  SimdTier out = SimdTier::kAvx2;
+  EXPECT_FALSE(qmax::batch::simd_tier_from_name("neon", out));
+  EXPECT_FALSE(qmax::batch::simd_tier_from_name("", out));
+  EXPECT_FALSE(qmax::batch::simd_tier_from_name(nullptr, out));
+  EXPECT_EQ(out, SimdTier::kAvx2);  // unknown names leave `out` untouched
+}
+
+TEST(SimdDispatch, ForceClampsToCpuAndResetRestores) {
+  TierGuard guard;
+  const SimdTier cap = qmax::batch::simd_max_supported_tier();
+  // Forcing at or below the cap installs the request verbatim.
+  EXPECT_EQ(qmax::batch::simd_force_tier(SimdTier::kScalar),
+            SimdTier::kScalar);
+  EXPECT_EQ(qmax::batch::simd_active_tier(), SimdTier::kScalar);
+  // Forcing above the cap installs the cap, never an unrunnable tier.
+  const SimdTier applied = qmax::batch::simd_force_tier(SimdTier::kAvx512);
+  EXPECT_LE(applied, cap);
+  EXPECT_EQ(applied, std::min(SimdTier::kAvx512, cap));
+  EXPECT_EQ(qmax::batch::simd_active_tier(), applied);
+  // Reset drops the force and re-resolves (no QMAX_SIMD set in-tests →
+  // back to the CPU cap).
+  const SimdTier resolved = qmax::batch::simd_reset_tier();
+  EXPECT_LE(resolved, cap);
+  EXPECT_EQ(qmax::batch::simd_active_tier(), resolved);
+}
+
+// Every tier's lane kernels against the scalar reference, on every
+// adversarial lane and a large random corpus, for Ψ finite / ±inf / NaN.
+TEST(SimdDispatch, LaneKernelsMatchScalarReferenceBitForBit) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<double> psis = {0.0, 1e9, -kInf, kInf, kNan,
+                                    qmax::kEmptyValue<double>};
+  Xoshiro256 rng(2024);
+
+  for (const double psi : psis) {
+    std::vector<std::vector<double>> lanes;
+    if (!std::isnan(psi) && psi != kInf && psi != -kInf) {
+      lanes = adversarial_lanes(psi);
+    }
+    for (int i = 0; i < 64; ++i) {  // random lanes around the bound
+      std::vector<double> lane(kScreenLane);
+      for (auto& x : lane) x = (rng.uniform() - 0.5) * 4.0;
+      lanes.push_back(std::move(lane));
+    }
+    for (const auto& lane : lanes) {
+      const bool ref_any =
+          qmax::batch::lane_any_above_scalar(lane.data(), psi);
+      const unsigned ref_mask =
+          qmax::batch::lane_mask_above_scalar(lane.data(), psi);
+      ASSERT_EQ(ref_any, ref_mask != 0);
+      for (const SimdTier tier : runnable_tiers()) {
+        EXPECT_EQ(qmax::batch::lane_any_above(lane.data(), psi, tier),
+                  ref_any)
+            << "tier=" << qmax::batch::simd_tier_name(tier) << " psi=" << psi;
+        EXPECT_EQ(qmax::batch::lane_mask_above(lane.data(), psi, tier),
+                  ref_mask)
+            << "tier=" << qmax::batch::simd_tier_name(tier) << " psi=" << psi;
+      }
+    }
+  }
+}
+
+// prefilter_above (which dispatches on the active tier internally) must
+// emit the identical survivor index vector under every forced tier,
+// including ragged tails shorter than a lane.
+TEST(SimdDispatch, PrefilterSurvivorsIdenticalAcrossTiers) {
+  TierGuard guard;
+  Xoshiro256 rng(77);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                              std::size_t{16}, std::size_t{17},
+                              std::size_t{511}, std::size_t{512},
+                              std::size_t{1000}}) {
+    std::vector<double> vals(n);
+    for (auto& x : vals) {
+      const double dice = rng.uniform();
+      x = dice < 0.1 ? kNan : rng.uniform();
+    }
+    const double psi = 0.9;  // rejection-dominated, like the steady state
+
+    std::vector<std::vector<std::uint32_t>> per_tier;
+    for (const SimdTier tier : runnable_tiers()) {
+      ASSERT_EQ(qmax::batch::simd_force_tier(tier), tier);
+      std::vector<std::uint32_t> idx(n + 1, 0xdeadbeef);
+      const std::size_t out =
+          qmax::batch::prefilter_above(vals.data(), n, psi, idx.data());
+      idx.resize(out);
+      per_tier.push_back(std::move(idx));
+    }
+    for (std::size_t t = 1; t < per_tier.size(); ++t) {
+      EXPECT_EQ(per_tier[t], per_tier[0]) << "n=" << n;
+    }
+    // Cross-check tier 0 against a from-scratch scalar filter.
+    std::vector<std::uint32_t> expect;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (vals[j] > psi) expect.push_back(static_cast<std::uint32_t>(j));
+    }
+    EXPECT_EQ(per_tier[0], expect) << "n=" << n;
+  }
+}
+
+// The split-layout entry prefilter must agree with the strided fallback.
+TEST(SimdDispatch, SplitLayoutPrefilterMatchesStrided) {
+  TierGuard guard;
+  Xoshiro256 rng(31337);
+  const std::size_t n = 777;
+  std::vector<qmax::Entry> entries(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    entries[j] = {j, rng.uniform()};
+  }
+  const double psi = 0.75;
+  for (const SimdTier tier : runnable_tiers()) {
+    ASSERT_EQ(qmax::batch::simd_force_tier(tier), tier);
+    std::vector<std::uint32_t> idx_split(n), idx_strided(n);
+    std::vector<double> scratch(n);
+    const std::size_t a = qmax::batch::prefilter_above(
+        entries.data(), n, psi, idx_split.data(), scratch.data());
+    const std::size_t b = qmax::batch::prefilter_above(
+        entries.data(), n, psi, idx_strided.data());
+    ASSERT_EQ(a, b);
+    idx_split.resize(a);
+    idx_strided.resize(b);
+    EXPECT_EQ(idx_split, idx_strided)
+        << "tier=" << qmax::batch::simd_tier_name(tier);
+  }
+}
+
+// Twin batch-vs-scalar differential, once per forced tier: the batched
+// path must stay observably identical to per-item adds regardless of
+// which kernels screen the lanes. Also asserts the end state is
+// identical *across* tiers.
+template <typename R>
+void run_forced_tier_differential(std::function<R()> make) {
+  TierGuard guard;
+  Xoshiro256 rng(4321);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const std::size_t n = 120'000;
+  std::vector<double> vals(n);
+  std::vector<std::uint64_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = i;
+    const double dice = rng.uniform();
+    vals[i] = dice < 0.05 ? kNan : rng.uniform() * 1e9;
+  }
+
+  auto snapshot = [](const R& r) {
+    std::vector<double> v;
+    for (const auto& e : r.query()) v.push_back(e.val);
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+  };
+
+  std::vector<double> first_snapshot;
+  double first_threshold = 0.0;
+  bool have_first = false;
+  for (const SimdTier tier : runnable_tiers()) {
+    ASSERT_EQ(qmax::batch::simd_force_tier(tier), tier);
+    R scalar = make();
+    R batched = make();
+    for (std::size_t i = 0; i < n; ++i) scalar.add(ids[i], vals[i]);
+    for (std::size_t i = 0; i < n; i += 97) {  // odd stride crosses lanes
+      const std::size_t m = std::min<std::size_t>(97, n - i);
+      batched.add_batch(ids.data() + i, vals.data() + i, m);
+    }
+    const char* name = qmax::batch::simd_tier_name(tier);
+    EXPECT_EQ(scalar.threshold(), batched.threshold()) << "tier=" << name;
+    EXPECT_EQ(scalar.admitted(), batched.admitted()) << "tier=" << name;
+    EXPECT_EQ(scalar.live_count(), batched.live_count()) << "tier=" << name;
+    const auto snap = snapshot(batched);
+    EXPECT_EQ(snapshot(scalar), snap) << "tier=" << name;
+    if (!have_first) {
+      first_snapshot = snap;
+      first_threshold = batched.threshold();
+      have_first = true;
+    } else {
+      EXPECT_EQ(snap, first_snapshot) << "tier=" << name;
+      EXPECT_EQ(batched.threshold(), first_threshold) << "tier=" << name;
+    }
+  }
+}
+
+TEST(SimdDispatch, ForcedTierDifferentialDeamortized) {
+  run_forced_tier_differential<QMax<>>([] { return QMax<>(500, 0.25); });
+}
+
+TEST(SimdDispatch, ForcedTierDifferentialAmortized) {
+  run_forced_tier_differential<AmortizedQMax<>>(
+      [] { return AmortizedQMax<>(500, 0.25); });
+}
+
+TEST(SimdDispatch, ForcedTierDifferentialSampled) {
+  run_forced_tier_differential<SampledQMax<>>(
+      [] { return SampledQMax<>(500, 0.25); });
+}
+
+// The adaptive governor starts scalar, flips the screen on once the
+// rejection rate proves it, and drops back under admission-heavy load.
+TEST(SimdDispatch, ScreenGovernorAdaptsToRejectionRate) {
+  qmax::batch::ScreenGovernor gov;
+  EXPECT_FALSE(gov.screen_enabled());
+  // Warmup: everything admitted → stays scalar.
+  EXPECT_FALSE(gov.observe(qmax::batch::ScreenGovernor::kWindow, 0));
+  EXPECT_FALSE(gov.screen_enabled());
+  // Steady state: 99% rejection → screen turns on.
+  const std::size_t w = qmax::batch::ScreenGovernor::kWindow;
+  EXPECT_TRUE(gov.observe(w, w - w / 100));
+  EXPECT_TRUE(gov.screen_enabled());
+  EXPECT_EQ(gov.switches(), 1u);
+  // 85% rejection sits inside the hysteresis band → no flap.
+  EXPECT_FALSE(gov.observe(w, (w * 85) / 100));
+  EXPECT_TRUE(gov.screen_enabled());
+  // 50% rejection → screen off again.
+  EXPECT_TRUE(gov.observe(w, w / 2));
+  EXPECT_FALSE(gov.screen_enabled());
+  EXPECT_EQ(gov.switches(), 2u);
+  gov.reset();
+  EXPECT_FALSE(gov.screen_enabled());
+  EXPECT_EQ(gov.switches(), 0u);
+}
+
+// End-to-end governor behavior inside a reservoir: an admission-heavy
+// (monotone rising) stream keeps the screen off; a rejection-dominated
+// stream turns it on; results match the scalar path either way (covered
+// by the differentials above — here we check the mode telemetry).
+TEST(SimdDispatch, ReservoirScreenEngagesOnRejectionDominatedStreams) {
+  QMax<> r(100, 0.25);
+  Xoshiro256 rng(55);
+  std::vector<std::uint64_t> ids(1024);
+  std::vector<double> vals(1024);
+  // Phase 1: uniform stream, Ψ converges, rejections dominate.
+  for (std::size_t round = 0; round < 200; ++round) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ids[i] = round * ids.size() + i;
+      vals[i] = rng.uniform();
+    }
+    r.add_batch(ids.data(), vals.data(), ids.size());
+  }
+  EXPECT_TRUE(r.screen_enabled());
+  EXPECT_GE(r.screen_switches(), 1u);
+}
+
+}  // namespace
