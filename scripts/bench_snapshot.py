@@ -38,6 +38,8 @@ BENCH_BLOBS = [
     ("tab01.json", "tab01", True),
     ("abl_batch.json", "abl_batch", True),
     ("abl_sharding.json", "abl_sharding", True),
+    # Durability overhead (PR 8+); absent in snapshots recorded earlier.
+    ("abl_snapshot.json", "abl_snapshot", False),
 ]
 
 THROUGHPUT_RE = re.compile(r"(mpps|gain|speedup|vs_)", re.IGNORECASE)

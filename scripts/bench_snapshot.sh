@@ -39,7 +39,8 @@ export QMAX_BENCH_SCALE="${QMAX_SNAPSHOT_SCALE:-0.05}"
 export QMAX_BENCH_REPS="${QMAX_SNAPSHOT_REPS:-2}"
 unset QMAX_BENCH_LARGE QMAX_TRACE_OUT 2>/dev/null || true
 
-for bin in bench_tab01_speedups bench_abl_batch bench_abl_sharding; do
+for bin in bench_tab01_speedups bench_abl_batch bench_abl_sharding \
+           bench_abl_snapshot; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
     echo "error: $BUILD_DIR/bench/$bin not found (build the benches first)" >&2
     exit 2
@@ -54,6 +55,8 @@ QMAX_METRICS_OUT="$WORK/abl_batch.json" \
   "$BUILD_DIR/bench/bench_abl_batch" | tee "$WORK/abl_batch.txt"
 QMAX_METRICS_OUT="$WORK/abl_sharding.json" \
   "$BUILD_DIR/bench/bench_abl_sharding" --smoke | tee "$WORK/abl_sharding.txt"
+QMAX_METRICS_OUT="$WORK/abl_snapshot.json" \
+  "$BUILD_DIR/bench/bench_abl_snapshot" | tee "$WORK/abl_snapshot.txt"
 
 # Optional traced leg: stage latencies + Chrome trace, throughput ignored.
 if [ -n "$TRACE_BUILD_DIR" ]; then

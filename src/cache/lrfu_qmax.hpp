@@ -30,9 +30,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/validate.hpp"
 #include "qmax/core.hpp"
 #include "telemetry/counters.hpp"
@@ -140,6 +142,49 @@ class LrfuQMaxCache {
 
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept {
+    return 0x06000000u;
+  }
+
+  /// Snapshot hook: the slot array, the key index (explicitly — its
+  /// values are compacted positions or kPending, both meaningful mid
+  /// maintenance cycle), the clock, and the hit accounting. Only find()
+  /// drives behavior between maintenance passes, so the map's iteration
+  /// order is immaterial and re-inserting in slot order is exact.
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t /*version*/) {
+    static_assert(std::is_trivially_copyable_v<Key>);
+    ar.check_u64(static_cast<std::uint64_t>(q_), "cache q");
+    ar.check_f64(log_c_, "cache log_c");
+    ar.check_f64(gamma_, "cache gamma");
+    ar.check_u64(static_cast<std::uint64_t>(cap_), "cache capacity");
+    ar.vec(entries_);
+    std::uint64_t count = index_.size();
+    ar.u64(count);
+    if constexpr (Archive::kLoading) {
+      if (entries_.size() >= cap_) ar.fail("cache array over capacity");
+      entries_.reserve(cap_);
+      index_.clear();
+      index_.reserve(cap_ * 2);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Key k{};
+        std::uint32_t pos = 0;
+        ar.pod(k);
+        ar.u32(pos);
+        index_.emplace(k, pos);
+      }
+    } else {
+      for (const auto& [k, pos] : index_) {
+        ar.pod(k);
+        ar.u32(pos);
+      }
+    }
+    ar.u64(t_);
+    ar.u64(hits_);
+    ar.u64(accesses_);
+  }
+
  private:
   static constexpr std::uint32_t kPending = 0xFFFFFFFFu;
 
@@ -150,6 +195,9 @@ class LrfuQMaxCache {
 
   void maintain() {
     tm_.maintenance_passes.inc();
+    // Crash-at-site: the array is full and the index may hold kPending
+    // markers — recovery must restore both sides consistently.
+    fault::maybe_crash();
     const std::size_t before = entries_.size();
     // Phase 1: merge duplicates in arrival order. index_ doubles as the
     // key → compacted-position map during the pass.

@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -176,6 +177,46 @@ class LrfuQMaxCacheDeamortized {
     accesses_ = 0;
     iteration_ = 0;
     tm_.reset();
+  }
+
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept {
+    return 0x07000000u;
+  }
+
+  /// Snapshot hook: the parity engine (claims + paused selection, which
+  /// rebinds itself against the restored claim array) plus the score map
+  /// — Info is authoritative for every cached key, including claim_iter/
+  /// claim_slot, which stay meaningful because iteration_ is restored too.
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t /*version*/) {
+    static_assert(std::is_trivially_copyable_v<Key>);
+    ar.check_u64(static_cast<std::uint64_t>(q_), "cache q");
+    ar.check_f64(log_c_, "cache log_c");
+    ar.check_f64(gamma_, "cache gamma");
+    eng_.serialize_state(ar);
+    std::uint64_t count = index_.size();
+    ar.u64(count);
+    if constexpr (Archive::kLoading) {
+      index_.clear();
+      index_.reserve(eng_.arr_.size() * 2);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Key k{};
+        Info info{};
+        ar.pod(k);
+        ar.pod(info);
+        index_.emplace(k, info);
+      }
+    } else {
+      for (const auto& [k, info] : index_) {
+        ar.pod(k);
+        ar.pod(info);
+      }
+    }
+    ar.u64(iteration_);
+    ar.u64(t_);
+    ar.u64(hits_);
+    ar.u64(accesses_);
   }
 
  private:

@@ -25,6 +25,16 @@
 //   kClockSkew     — TimeSlackQMax timestamps jump backwards by the
 //                    schedule's magnitude; the monotonicity guard must
 //                    throw without corrupting state.
+//   kCrashPoint    — maintenance and snapshot-persist paths abort by
+//                    throwing InjectedCrash mid-operation, simulating
+//                    process death at that instruction; the crash-recovery
+//                    harness catches it, discards the object, and restores
+//                    the latest durable epoch.
+//   kSnapshotTornWrite — the snapshot store's file write is sabotaged: a
+//                    short write, a corrupted payload byte, or a crash
+//                    between temp-write and rename (mode selected by the
+//                    schedule's magnitude % 3); restore must detect and
+//                    reject the damaged epoch.
 //
 // Schedules are deterministic: a site fires either periodically
 // ((hit + phase) % period == 0) or pseudo-randomly from a seeded hash of
@@ -61,8 +71,28 @@ enum class Site : unsigned {
   kRingPopStall,
   kValueCorrupt,
   kClockSkew,
+  kCrashPoint,
+  kSnapshotTornWrite,
 };
-inline constexpr unsigned kSiteCount = 4;
+inline constexpr unsigned kSiteCount = 6;
+
+/// Thrown by maybe_crash() to simulate process death at an injected site.
+/// Deliberately NOT derived from std::exception: production catch(...)-free
+/// error paths never intercept it by accident, only the recovery harness's
+/// explicit catch does. Defined in both gate states so harness code
+/// compiles either way (it just never fires when the gate is off).
+struct InjectedCrash {
+  Site site;
+};
+
+/// How a torn snapshot write is sabotaged. Selected from the armed
+/// schedule's magnitude % 3 so one site covers all three failure shapes.
+enum class TornWrite : int {
+  kNone = -1,
+  kShortWrite = 0,   // only half the payload reaches the file
+  kCorruptByte = 1,  // one payload byte is flipped after writing
+  kDropRename = 2,   // temp file written, crash before rename
+};
 
 /// When a site fires. Exactly one of `period` / `probability` is used:
 /// period > 0 selects the modular schedule, otherwise `probability` with
@@ -193,6 +223,23 @@ template <typename Value>
   return should_fire(Site::kRingPopStall);
 }
 
+/// Crash injection point: throws InjectedCrash when armed and due. Placed
+/// mid-maintenance and mid-persist so recovery is exercised at the worst
+/// moments — in-memory state half-mutated, snapshot half-written.
+inline void maybe_crash() {
+  if (should_fire(Site::kCrashPoint)) {
+    throw InjectedCrash{Site::kCrashPoint};
+  }
+}
+
+/// Torn-write injection point: which sabotage (if any) the snapshot
+/// store should apply to the write it is about to perform.
+[[nodiscard]] inline TornWrite torn_write() noexcept {
+  if (!should_fire(Site::kSnapshotTornWrite)) return TornWrite::kNone;
+  const auto m = detail::site(Site::kSnapshotTornWrite).sched.magnitude;
+  return static_cast<TornWrite>(m % 3);
+}
+
 #else  // QMAX_FAULT_ENABLED
 
 // Disabled: every hook is an inline no-op the optimizer deletes.
@@ -212,6 +259,10 @@ template <typename Value>
   return ts;
 }
 [[nodiscard]] inline bool pop_stalled() noexcept { return false; }
+inline void maybe_crash() noexcept {}
+[[nodiscard]] inline TornWrite torn_write() noexcept {
+  return TornWrite::kNone;
+}
 
 #endif  // QMAX_FAULT_ENABLED
 

@@ -61,6 +61,13 @@ class Xoshiro256 {
     return static_cast<std::uint64_t>((static_cast<u128>(x) * bound) >> 64);
   }
 
+  /// Snapshot hook: the four state words are the entire generator state,
+  /// so saving and restoring them resumes the exact sequence.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    for (auto& w : s_) ar.u64(w);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -113,6 +113,33 @@ class IncrementalSelect {
 
   [[nodiscard]] std::uint64_t total_ops() const noexcept { return total_ops_; }
 
+  /// Snapshot hook: the scalar cursor state (segment bounds, partition
+  /// sub-phase, pivot copy) fully captures a paused selection. The data
+  /// pointer and comparator are owner-supplied context, not state — the
+  /// owner must call rebind() after loading so the cursors resume against
+  /// the freshly restored array.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.sz(lo_);
+    ar.sz(hi_);
+    ar.sz(k_);
+    ar.sz(size_);
+    ar.b(in_partition_);
+    ar.b(scan_right_);
+    ar.b(done_);
+    ar.pod(pivot_);
+    ar.sz(it_);
+    ar.sz(jt_);
+    ar.u64(total_ops_);
+  }
+
+  /// Point a restored selection at its owner's (restored) array. Passing
+  /// nullptr marks the machine inactive (no selection was in flight).
+  void rebind(T* data, Compare cmp) noexcept {
+    data_ = data;
+    cmp_ = std::move(cmp);
+  }
+
  private:
   void begin_partition() noexcept {
     // Move the median of {data[lo+1], data[lo+n/2], data[hi-1]} to

@@ -345,6 +345,16 @@ class ScreenGovernor {
 
   [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
 
+  /// Snapshot hook: mode flag plus the in-flight observation window, so a
+  /// restored reservoir resumes the same scalar/lane decision mid-window.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.b(screen_);
+    ar.sz(items_);
+    ar.sz(rejected_);
+    ar.u64(switches_);
+  }
+
   void reset() noexcept {
     screen_ = false;
     items_ = 0;

@@ -106,6 +106,8 @@ struct MaxValuePolicy {
 /// the whole stream / landmark window).
 struct LandmarkWindow {
   static constexpr bool kIdentity = true;
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  static constexpr std::uint32_t kWindowTag = 1;
 };
 
 /// Section 5's exponential-decay reduction: feeding val·c^(−i) into a
@@ -115,6 +117,8 @@ struct LandmarkWindow {
 /// like the pre-refactor wrapper's early return.
 struct ExpDecayWindow {
   static constexpr bool kIdentity = false;
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  static constexpr std::uint32_t kWindowTag = 2;
 
   double log_c = 0.0;
 
@@ -238,10 +242,38 @@ struct ParityEngine {
       select_.finish();
     }
     apply_threshold(on_psi);
+    // Crash-at-site: Ψ possibly raised, losers not yet evicted, parity
+    // not yet flipped — the nastiest half-mutated point of Algorithm 1.
+    fault::maybe_crash();
     on_end(parity_a_ ? std::size_t{0} : g_ + q_, g_);
     parity_a_ = !parity_a_;
     steps_ = 0;
     begin_iteration();
+  }
+
+  /// Snapshot hook: the slot array plus the scalar scheduler state (Ψ,
+  /// parity, step counter, paused-selection cursors). The incremental
+  /// selection's data pointer and comparator are context, not state —
+  /// after loading they are rebound against the restored array at the
+  /// candidate base the restored parity implies, so a selection paused
+  /// mid-partition resumes exactly where the snapshot caught it.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.check_u64(static_cast<std::uint64_t>(q_), "parity q");
+    ar.check_u64(static_cast<std::uint64_t>(g_), "parity g");
+    ar.check_u64(step_budget_, "parity step budget");
+    ar.vec(arr_);
+    ar.pod(psi_);
+    ar.b(parity_a_);
+    ar.b(psi_applied_);
+    ar.sz(steps_);
+    ar.u64(late_selections_);
+    select_.serialize_state(ar);
+    if constexpr (Archive::kLoading) {
+      if (arr_.size() != q_ + 2 * g_) ar.fail("parity array size");
+      if (steps_ > g_) ar.fail("parity step counter out of range");
+      select_.rebind(arr_.data() + candidate_base(), Order{!parity_a_});
+    }
   }
 
   std::size_t q_ = 0;
@@ -389,6 +421,22 @@ struct DeamortizedMaintenance {
     tm_.reset();
   }
 
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  static constexpr std::uint32_t kPolicyTag = 1;
+
+  /// Snapshot hook: engine (array + scheduler + paused selection) plus
+  /// the live count and the externally folded Ψ floor. Gated telemetry
+  /// instruments are observability, not algorithm state, and restart at
+  /// zero — the plain counters the algorithm reads are all here.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.check_f64(opts_.gamma, "gamma");
+    ar.check_u64(opts_.budget_factor, "budget factor");
+    eng_.serialize_state(ar);
+    ar.sz(live_);
+    ar.pod(ext_floor_);
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept {
     return eng_.arr_.size();
   }
@@ -515,6 +563,8 @@ struct AmortizedMaintenance {
     partition_top(arr_.begin(), q_, arr_.end(),
                   typename VP::Order{.descending = true});
     psi_ = std::max(psi_, arr_[q_ - 1].val);
+    // Crash-at-site: Ψ raised, array partitioned but not yet shrunk.
+    fault::maybe_crash();
     if (on_evict_) {
       for (std::size_t i = q_; i < arr_.size(); ++i) on_evict_(arr_[i]);
     }
@@ -545,6 +595,25 @@ struct AmortizedMaintenance {
   [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
   [[nodiscard]] std::size_t live_count() const noexcept { return arr_.size(); }
   [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  static constexpr std::uint32_t kPolicyTag = 2;
+
+  /// Snapshot hook: the append array, Ψ, and the external floor. A valid
+  /// snapshot always has size < cap_ (admit() maintains eagerly at cap_).
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.check_u64(static_cast<std::uint64_t>(q_), "q");
+    ar.check_f64(gamma_, "gamma");
+    ar.check_u64(static_cast<std::uint64_t>(cap_), "capacity");
+    ar.vec(arr_);
+    ar.pod(psi_);
+    ar.pod(ext_floor_);
+    if constexpr (Archive::kLoading) {
+      if (arr_.size() >= cap_) ar.fail("amortized array over capacity");
+      arr_.reserve(cap_);
+    }
+  }
 
   std::size_t q_;
   double gamma_ = 0.0;
@@ -689,6 +758,9 @@ struct SampledMaintenance {
     [[maybe_unused]] telemetry::Span trace_span(
         telemetry::Stage::kMaintenance);
     tm_.maintenance_passes.inc();
+    // Crash-at-site: the array is full (size == cap_); recovery must not
+    // resume from an over-full image.
+    fault::maybe_crash();
     if (use_sampling_) {
       {
         [[maybe_unused]] telemetry::Span sampled_span(
@@ -744,6 +816,34 @@ struct SampledMaintenance {
   }
   [[nodiscard]] std::uint64_t exact_fallbacks() const noexcept {
     return exact_fallbacks_;
+  }
+
+  /// Snapshot self-description (durability/snapshot.hpp variant tags).
+  static constexpr std::uint32_t kPolicyTag = 3;
+
+  /// Snapshot hook: array + Ψ + external floor, the RNG's four state
+  /// words (the ISSUE's "RNG seed and counters" — restoring them resumes
+  /// the exact sampling stream), and the sampled/fallback counters.
+  /// sample_ is per-pass scratch, cleared at the top of every attempt.
+  template <typename Archive>
+  void serialize_state(Archive& ar) {
+    ar.check_u64(static_cast<std::uint64_t>(q_), "q");
+    ar.check_f64(gamma_, "gamma");
+    ar.check_u64(static_cast<std::uint64_t>(cap_), "capacity");
+    ar.check_u64(static_cast<std::uint64_t>(slack_), "slack");
+    ar.check_u64(static_cast<std::uint64_t>(sample_size_), "sample size");
+    ar.check_u64(use_sampling_ ? 1 : 0, "sampling mode");
+    ar.check_u64(seed_, "rng seed");
+    ar.vec(arr_);
+    ar.pod(psi_);
+    ar.pod(ext_floor_);
+    rng_.serialize_state(ar);
+    ar.u64(sampled_passes_);
+    ar.u64(exact_fallbacks_);
+    if constexpr (Archive::kLoading) {
+      if (arr_.size() >= cap_) ar.fail("sampled array over capacity");
+      arr_.reserve(cap_);
+    }
   }
 
  private:
@@ -1087,6 +1187,41 @@ class ReservoirCore {
     return maint_.sampling_enabled();
   }
 
+  /// Snapshot self-description: one tag per (window, maintenance)
+  /// composition, embedded in the snapshot header so a restore into the
+  /// wrong variant is rejected before any payload is parsed.
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept {
+    return 0x01000000u | (WindowPolicy::kWindowTag << 8) |
+           MaintenancePolicy::kPolicyTag;
+  }
+
+  /// Snapshot hook (durability/snapshot.hpp drives this through a Writer
+  /// or Reader archive): configuration guards, the maintenance policy's
+  /// full algorithm state, the stream position, and — from format v2 —
+  /// the adaptive screen governor. The batch scratch buffers are not
+  /// state: they are overwritten from scratch by every batch call.
+  ///
+  /// Version compatibility: v1 snapshots predate the ScreenGovernor
+  /// block; loading one leaves the governor at its reset defaults
+  /// (scalar mode, empty window), which is always safe — the governor
+  /// only affects how admissions are screened, never which items are
+  /// admitted.
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    ar.check_u64(static_cast<std::uint64_t>(q_), "reservoir q");
+    if constexpr (!WindowPolicy::kIdentity) {
+      ar.check_f64(window_.log_c, "window log_c");
+    }
+    maint_.serialize_state(ar);
+    ar.u64(processed_);
+    ar.u64(admitted_);
+    if (version >= 2) {
+      screen_gov_.serialize_state(ar);
+    } else {
+      if constexpr (Archive::kLoading) screen_gov_.reset();
+    }
+  }
+
  private:
   friend struct ::qmax::InvariantAccess;
 
@@ -1232,6 +1367,20 @@ class BlockRing {
   }
   [[nodiscard]] const std::vector<std::uint64_t>& start_tags() const noexcept {
     return start_;
+  }
+
+  /// Snapshot hook: the start tags plus every block reservoir, in slot
+  /// order. Block count and size are configuration (checked, not loaded).
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    ar.check_u64(block_size_, "ring block size");
+    ar.check_u64(static_cast<std::uint64_t>(start_.size()),
+                 "ring block count");
+    ar.vec(start_);
+    if constexpr (Archive::kLoading) {
+      if (start_.size() != blocks_.size()) ar.fail("ring tag count");
+    }
+    for (R& b : blocks_) b.serialize_state(ar, version);
   }
 
  private:

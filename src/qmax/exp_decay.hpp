@@ -95,6 +95,17 @@ class ExpDecayQMax {
 
   [[nodiscard]] const Core& inner() const noexcept { return inner_; }
 
+  /// Snapshot self-description: the wrapper is stateless beyond the core
+  /// (the now-shift is derived from processed()), so it tags and forwards.
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept {
+    return 0x04000000u | (Core::snapshot_tag() & 0x00FFFFFFu);
+  }
+
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    inner_.serialize_state(ar, version);
+  }
+
  private:
   /// Preserves the pre-core validation order — (q, γ) first, then decay —
   /// so error messages are stable; the core re-validates (q, γ)

@@ -260,6 +260,35 @@ class ShardedQMax {
   }
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
+  /// Snapshot self-description: container tag over the shard core's tag.
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept {
+    return 0x05000000u | (Core::snapshot_tag() & 0x00FFFFFFu);
+  }
+
+  /// Snapshot hook (writers quiescent, like query/reset): the global-Ψ
+  /// floor plus every shard — core state and broadcast bookkeeping, in
+  /// shard order. The atomic travels through a local so the archive only
+  /// ever sees plain values.
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    ar.check_u64(static_cast<std::uint64_t>(q_), "sharded q");
+    ar.check_u64(static_cast<std::uint64_t>(shards_.size()), "shard count");
+    ar.check_u64(broadcast_ ? 1 : 0, "psi broadcast mode");
+    Value g = global_psi_.load(std::memory_order_relaxed);
+    ar.pod(g);
+    if constexpr (Archive::kLoading) {
+      global_psi_.store(g, std::memory_order_relaxed);
+    }
+    for (auto& sh : shards_) {
+      sh->core.serialize_state(ar, version);
+      ar.pod(sh->self_psi);
+      ar.pod(sh->published);
+      ar.u64(sh->broadcast_folds);
+      ar.u64(sh->broadcast_publishes);
+      ar.u64(sh->broadcast_tightened);
+    }
+  }
+
  private:
   /// Per-shard state on its own cache line: `core` plus the broadcast
   /// bookkeeping, all written only by the owning thread.

@@ -267,6 +267,32 @@ class SlackQMax {
   }
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
+  /// Snapshot self-description: container tag over the block reservoir's
+  /// own tag, so a SlackQMax<QMax> snapshot cannot restore into a
+  /// SlackQMax<SampledQMax> (or a bare reservoir).
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept
+    requires requires { R::snapshot_tag(); }
+  {
+    return 0x02000000u | (R::snapshot_tag() & 0x00FFFFFFu);
+  }
+
+  /// Snapshot hook: geometry guards, every level ring (tags + block
+  /// reservoirs), the lazy front reservoir, and the stream clock. The
+  /// merge/flush buffers are per-call scratch.
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    ar.check_u64(window_, "slack window");
+    ar.check_f64(tau_, "slack tau");
+    ar.check_u64(static_cast<std::uint64_t>(opts_.levels), "slack levels");
+    ar.check_u64(opts_.lazy ? 1 : 0, "slack lazy mode");
+    ar.check_u64(fine_block_, "slack fine block");
+    ar.check_u64(branch_, "slack branch");
+    for (LevelRing& lv : levels_) lv.serialize_state(ar, version);
+    if (opts_.lazy) front_[0].serialize_state(ar, version);
+    ar.u64(t_);
+    ar.u64(coverage_);
+  }
+
  private:
   friend struct InvariantAccess;
 

@@ -148,6 +148,25 @@ class TimeSlackQMax {
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
   [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
 
+  /// Snapshot self-description (see SlackQMax::snapshot_tag).
+  [[nodiscard]] static constexpr std::uint32_t snapshot_tag() noexcept
+    requires requires { R::snapshot_tag(); }
+  {
+    return 0x03000000u | (R::snapshot_tag() & 0x00FFFFFFu);
+  }
+
+  /// Snapshot hook: time-axis geometry guards, the block ring, and the
+  /// stream clock (now_ restores the monotonicity guard's watermark).
+  template <typename Archive>
+  void serialize_state(Archive& ar, std::uint32_t version) {
+    ar.check_u64(window_, "time window");
+    ar.check_f64(tau_, "time tau");
+    ring_.serialize_state(ar, version);
+    ar.u64(now_);
+    ar.u64(processed_);
+    ar.u64(coverage_);
+  }
+
  private:
   friend struct InvariantAccess;
 

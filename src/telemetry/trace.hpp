@@ -67,6 +67,8 @@ enum class Stage : std::uint8_t {
   kRingPushStall,   // PMD spinning on a full monitor ring
   kRingDrain,       // consumer processing one non-empty ring pop
   kOverload,        // overload-ladder transitions (instant events)
+  kSnapshotWrite,   // durability: serialize + atomic persist of an epoch
+  kRestore,         // durability: validate + load of a snapshot epoch
   kCount
 };
 
@@ -88,6 +90,8 @@ inline constexpr std::size_t kStageCount =
     case Stage::kRingPushStall: return "ring_push_stall";
     case Stage::kRingDrain: return "ring_drain";
     case Stage::kOverload: return "overload";
+    case Stage::kSnapshotWrite: return "snapshot_write";
+    case Stage::kRestore: return "restore";
     case Stage::kCount: break;
   }
   return "?";

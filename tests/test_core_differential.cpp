@@ -36,6 +36,8 @@
 #include "qmax/exp_decay.hpp"
 #include "qmax/qmax.hpp"
 #include "qmax/qmin.hpp"
+#include "qmax/sampled_qmax.hpp"
+#include "qmax/sharded.hpp"
 #include "qmax/sliding.hpp"
 #include "qmax/small_domain_window.hpp"
 #include "qmax/time_sliding.hpp"
@@ -672,6 +674,67 @@ TEST(CoreDifferential, ResetEqualsFreshLrfuCaches) {
       drive_keys);
   expect_reset_equals_fresh([] { return qmax::cache::LrfuCache<>(32, 0.99); },
                             drive_keys);
+}
+
+// State added after PR 4 that reset() must also clear: the sampled
+// policy's RNG stream and pass/fallback counters, the batch screen
+// governor's mode and window, and the externally folded Ψ floor.
+
+TEST(CoreDifferential, ResetEqualsFreshSampled) {
+  expect_reset_equals_fresh(
+      [] { return qmax::SampledQMax<>(128, 0.5, 48); },
+      [](qmax::SampledQMax<>& r, const std::vector<double>& v) {
+        Hasher hh;
+        hh.u64(drive_reservoir(r, v));
+        // The RNG must restart from the seed and the counters from zero,
+        // or the pass/fallback trajectory diverges from a fresh instance.
+        hh.u64(r.sampled_passes());
+        hh.u64(r.exact_fallbacks());
+        return hh.h;
+      });
+}
+
+TEST(CoreDifferential, ResetEqualsFreshGovernorAndFloor) {
+  expect_reset_equals_fresh(
+      [] { return QMax<>(32, 0.25); },
+      [](QMax<>& r, const std::vector<double>& v) {
+        // Mid-trace floor folds leave ext_floor_ raised; batch entry
+        // spans flip the screen governor — both must vanish on reset.
+        r.raise_threshold_floor(0.75);
+        Hasher hh;
+        std::vector<std::uint64_t> ids(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i) ids[i] = i;
+        constexpr std::size_t kChunk = 256;
+        for (std::size_t lo = 0; lo < v.size(); lo += kChunk) {
+          const std::size_t n = std::min(kChunk, v.size() - lo);
+          hh.u64(r.add_batch(ids.data() + lo, v.data() + lo, n));
+          hh.d(r.threshold());
+        }
+        hash_query(hh, r.query());
+        hh.u64(r.admitted());
+        hh.d(r.external_floor());
+        return hh.h;
+      });
+}
+
+TEST(CoreDifferential, ResetEqualsFreshSharded) {
+  expect_reset_equals_fresh(
+      [] {
+        return qmax::ShardedQMax<>(4, 32,
+                                   typename qmax::ShardedQMax<>::Options{
+                                       .gamma = 0.25},
+                                   true);
+      },
+      [](qmax::ShardedQMax<>& r, const std::vector<double>& v) {
+        Hasher hh;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          hh.b(r.add(i % 4, i, v[i]));
+        }
+        hash_query(hh, r.query());
+        hh.d(r.global_threshold());
+        hh.u64(r.processed());
+        return hh.h;
+      });
 }
 
 }  // namespace
