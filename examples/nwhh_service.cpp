@@ -1,0 +1,304 @@
+// Distributed network-wide heavy hitters as real processes (DESIGN.md §9).
+//
+// One binary, three modes over ONE deterministic workload:
+//
+//   --controller   run the ControllerService: accept N agents, merge their
+//                  framed REPORT deltas, wait for every GOODBYE, print the
+//                  merged top-q sample.
+//   --agent        run one NMP as a process: replay its deterministic
+//                  slice of the global packet stream, publish one REPORT
+//                  per epoch (with HELLO/HEARTBEAT/GOODBYE and reconnect
+//                  backoff), optionally crash-exit mid-run to exercise the
+//                  controller's straggler/reconnect machinery.
+//   --golden       the single-process reference: simulate all N agents
+//                  in-process through the SAME Nmp/NwhhController code and
+//                  print the identical report format.
+//
+// The workload is a pure function of (packets, flows, alpha, seed): packet
+// pid carries the pid-th draw of a seeded Zipf flow sequence, and agent j
+// observes pid iff hash(pid, j-derived seed) clears a coverage threshold —
+// so a crashed-and-restarted agent replays exactly the same stream, and
+// the golden run can recompute every agent's slice without any IPC. The
+// launcher (scripts/run_nwhh_service.sh) diffs controller output against
+// golden output: byte equality == multiset equality of the merged sample.
+//
+//   ./build/examples/nwhh_service --controller --k 1024 --agents 8
+//       --port 0 --port-file /tmp/port --out /tmp/ctl.txt
+//   ./build/examples/nwhh_service --agent --id 3 --port $(cat /tmp/port)
+//       --k 1024 [--crash-after-epoch 2]
+//   ./build/examples/nwhh_service --golden --k 1024 --agents 8
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/random.hpp"
+#include "common/zipf.hpp"
+#include "net/agent.hpp"
+#include "net/controller.hpp"
+#include "qmax/qmax.hpp"
+
+namespace {
+
+using qmax::QMax;
+using qmax::apps::NwhhController;
+using qmax::apps::NwhhEntry;
+using qmax::apps::PacketSample;
+using R = QMax<PacketSample, double>;
+
+struct Cli {
+  enum class Mode { kNone, kController, kAgent, kGolden } mode = Mode::kNone;
+  std::uint64_t packets = 200'000;
+  std::uint64_t flows = 10'000;
+  double alpha = 1.05;
+  std::uint64_t seed = 42;
+  std::size_t agents = 8;
+  std::size_t k = 1'024;
+  std::size_t epochs = 5;
+  std::uint64_t agent_id = 0;
+  std::uint16_t port = 0;
+  std::uint64_t crash_after_epoch = 0;  // 0 = never
+  std::uint64_t timeout_s = 120;
+  std::string port_file;
+  std::string out_file;
+};
+
+/// Does agent `j` observe packet `pid`? ~75% coverage each, overlapping —
+/// the redundancy the dedup merge exists to absorb. Pure in (pid, j).
+bool observes(std::uint64_t pid, std::uint64_t j) {
+  return (qmax::common::hash64(pid, 0xA6E17u + j) & 3u) != 0;
+}
+
+/// Replay the global packet stream, invoking fn(pid, flow, position) for
+/// the packets agent `j` observes. Every caller draws the same Zipf
+/// sequence, so flow(pid) agrees across agents, golden, and restarts.
+template <typename Fn>
+void replay_stream(const Cli& cli, std::uint64_t j, Fn&& fn) {
+  qmax::common::Xoshiro256 rng(cli.seed);
+  qmax::common::ZipfGenerator zipf(cli.flows, cli.alpha);
+  for (std::uint64_t pid = 0; pid < cli.packets; ++pid) {
+    const std::uint64_t flow = zipf(rng);
+    if (observes(pid, j)) fn(pid, flow);
+  }
+}
+
+/// Epoch of the stream position: packet pid belongs to epoch
+/// 1 + pid·E/M, giving E aligned publish points across agents.
+std::uint64_t epoch_of(const Cli& cli, std::uint64_t pid) {
+  return 1 + pid * cli.epochs / cli.packets;
+}
+
+/// Print the merged view in a canonical, diff-able form: the estimate,
+/// then every sample entry sorted by (value, packet id). %.17g keeps the
+/// doubles round-trip exact, so byte equality == value equality.
+void print_merged(std::FILE* out, const NwhhController& ctl) {
+  auto sample = ctl.sample();  // copy: re-sort with a total order
+  std::sort(sample.begin(), sample.end(),
+            [](const NwhhEntry& a, const NwhhEntry& b) {
+              if (a.val != b.val) return a.val < b.val;
+              return a.id.packet_id < b.id.packet_id;
+            });
+  std::fprintf(out, "total %.17g\n", ctl.total_packets());
+  std::fprintf(out, "samples %zu\n", sample.size());
+  for (const auto& e : sample) {
+    std::fprintf(out, "sample %llu %llu %.17g\n",
+                 static_cast<unsigned long long>(e.id.packet_id),
+                 static_cast<unsigned long long>(e.id.flow), e.val);
+  }
+}
+
+int run_controller(const Cli& cli) {
+  qmax::net::ControllerService svc(qmax::net::ControllerConfig{
+      .port = cli.port,
+      .k = cli.k,
+      .heartbeat_timeout_ms = 1'000,
+      .expected_agents = cli.agents});
+  if (!svc.start()) {
+    std::fprintf(stderr, "controller: cannot listen on port %u\n", cli.port);
+    return 2;
+  }
+  std::fprintf(stderr, "controller: listening on 127.0.0.1:%u\n",
+               svc.port());
+  if (!cli.port_file.empty()) {
+    // Write-then-rename so a polling launcher never reads a torn file.
+    const std::string tmp = cli.port_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%u\n", svc.port());
+      std::fclose(f);
+      std::rename(tmp.c_str(), cli.port_file.c_str());
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(cli.timeout_s);
+  while (!svc.done()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "controller: timed out waiting for agents\n");
+      return 3;
+    }
+    svc.run_once(50);
+  }
+  svc.stop();
+
+  for (const auto& [id, s] : svc.sessions()) {
+    std::fprintf(stderr,
+                 "controller: agent %llu reports=%llu last_epoch=%llu "
+                 "observed=%llu straggles=%llu\n",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned long long>(s.reports),
+                 static_cast<unsigned long long>(s.last_epoch),
+                 static_cast<unsigned long long>(s.observed),
+                 static_cast<unsigned long long>(s.straggles));
+  }
+
+  std::FILE* out = stdout;
+  if (!cli.out_file.empty()) {
+    out = std::fopen(cli.out_file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "controller: cannot write %s\n",
+                   cli.out_file.c_str());
+      return 2;
+    }
+  }
+  print_merged(out, svc.merged());
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int run_agent(const Cli& cli) {
+  qmax::net::ServiceAgent<R> agent(
+      qmax::net::AgentConfig{.agent_id = cli.agent_id,
+                             .port = cli.port,
+                             .k = cli.k,
+                             .hash_seed = 0},
+      R(cli.k, 0.25));
+  std::uint64_t published = 0;
+  bool ok = true;
+  replay_stream(cli, cli.agent_id, [&](std::uint64_t pid,
+                                       std::uint64_t flow) {
+    agent.observe(pid, flow);
+    const std::uint64_t ep = epoch_of(cli, pid);
+    if (ep > published + 1) {
+      // Crossed an epoch boundary: publish the epoch that just closed.
+      published = ep - 1;
+      if (!agent.publish_epoch(published)) ok = false;
+      agent.heartbeat(published);
+      if (cli.crash_after_epoch != 0 &&
+          published >= cli.crash_after_epoch) {
+        // Simulated crash: no GOODBYE, no flush, no destructors — the
+        // controller sees a dead TCP peer mid-stream. Deterministic,
+        // unlike an externally-timed SIGKILL.
+        std::fprintf(stderr, "agent %llu: crash-exit after epoch %llu\n",
+                     static_cast<unsigned long long>(cli.agent_id),
+                     static_cast<unsigned long long>(published));
+        std::_Exit(7);
+      }
+    }
+  });
+  if (!agent.publish_epoch(cli.epochs)) ok = false;
+  agent.goodbye(cli.epochs);
+  if (!ok) {
+    std::fprintf(stderr, "agent %llu: some epochs failed to publish\n",
+                 static_cast<unsigned long long>(cli.agent_id));
+    return 4;
+  }
+  std::fprintf(stderr, "agent %llu: done (observed %llu)\n",
+               static_cast<unsigned long long>(cli.agent_id),
+               static_cast<unsigned long long>(agent.nmp().observed()));
+  return 0;
+}
+
+int run_golden(const Cli& cli) {
+  NwhhController ctl(cli.k);
+  for (std::uint64_t j = 0; j < cli.agents; ++j) {
+    qmax::apps::Nmp<R> nmp(cli.k, R(cli.k, 0.25), /*seed=*/0);
+    replay_stream(cli, j, [&](std::uint64_t pid, std::uint64_t flow) {
+      nmp.observe(pid, flow);
+    });
+    ctl.collect(nmp);
+  }
+  std::FILE* out = stdout;
+  if (!cli.out_file.empty()) {
+    out = std::fopen(cli.out_file.c_str(), "w");
+    if (out == nullptr) return 2;
+  }
+  print_merged(out, ctl);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --controller|--agent|--golden [options]\n"
+      "  common:  --k N --agents N --packets N --flows N --alpha F\n"
+      "           --seed N --epochs N --out FILE\n"
+      "  controller: --port P (0 = ephemeral) --port-file FILE\n"
+      "              --timeout-s N\n"
+      "  agent:      --id N --port P --crash-after-epoch N\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::exit(usage(argv[0]));
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--controller") == 0) {
+      cli.mode = Cli::Mode::kController;
+    } else if (std::strcmp(a, "--agent") == 0) {
+      cli.mode = Cli::Mode::kAgent;
+    } else if (std::strcmp(a, "--golden") == 0) {
+      cli.mode = Cli::Mode::kGolden;
+    } else if (std::strcmp(a, "--k") == 0) {
+      cli.k = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--agents") == 0) {
+      cli.agents = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--packets") == 0) {
+      cli.packets = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--flows") == 0) {
+      cli.flows = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--alpha") == 0) {
+      cli.alpha = std::strtod(need(i), nullptr);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      cli.seed = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--epochs") == 0) {
+      cli.epochs = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--id") == 0) {
+      cli.agent_id = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--port") == 0) {
+      cli.port = static_cast<std::uint16_t>(
+          std::strtoul(need(i), nullptr, 10));
+    } else if (std::strcmp(a, "--port-file") == 0) {
+      cli.port_file = need(i);
+    } else if (std::strcmp(a, "--out") == 0) {
+      cli.out_file = need(i);
+    } else if (std::strcmp(a, "--crash-after-epoch") == 0) {
+      cli.crash_after_epoch = std::strtoull(need(i), nullptr, 10);
+    } else if (std::strcmp(a, "--timeout-s") == 0) {
+      cli.timeout_s = std::strtoull(need(i), nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  switch (cli.mode) {
+    case Cli::Mode::kController: return run_controller(cli);
+    case Cli::Mode::kAgent: return run_agent(cli);
+    case Cli::Mode::kGolden: return run_golden(cli);
+    case Cli::Mode::kNone: break;
+  }
+  return usage(argv[0]);
+}

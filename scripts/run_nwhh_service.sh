@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end demo/check for the distributed NWHH service (DESIGN.md §9).
+#
+# Launches 1 controller + N agent processes against it on localhost,
+# deterministically crash-exits one agent mid-run and restarts it, waits
+# for the controller to see every GOODBYE, then diffs the controller's
+# merged top-q sample against the single-process golden run of the same
+# binary. Byte equality of the two reports == multiset equality of the
+# merged sample (both are printed in canonical sorted form with %.17g
+# doubles).
+#
+# Usage:
+#   scripts/run_nwhh_service.sh [path/to/nwhh_service]
+#
+# Environment knobs (all optional):
+#   AGENTS       number of agent processes          (default 8)
+#   PACKETS      global stream length               (default 200000)
+#   K            network-wide sample size           (default 1024)
+#   EPOCHS       report epochs per agent            (default 5)
+#   FLOWS        flow-id domain                     (default 10000)
+#   SEED         workload seed                      (default 42)
+#   CRASH_AGENT  agent id to kill mid-run           (default 3; "" = none)
+#   CRASH_EPOCH  epoch after which it crash-exits   (default 2)
+#   WORKDIR      scratch dir (default: mktemp; kept on failure)
+set -euo pipefail
+
+BIN="${1:-build/examples/nwhh_service}"
+AGENTS="${AGENTS:-8}"
+PACKETS="${PACKETS:-200000}"
+K="${K:-1024}"
+EPOCHS="${EPOCHS:-5}"
+FLOWS="${FLOWS:-10000}"
+SEED="${SEED:-42}"
+CRASH_AGENT="${CRASH_AGENT:-3}"
+CRASH_EPOCH="${CRASH_EPOCH:-2}"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build the examples first)" >&2
+  exit 2
+fi
+
+WORK="${WORKDIR:-$(mktemp -d)}"
+mkdir -p "$WORK"
+COMMON=(--k "$K" --agents "$AGENTS" --packets "$PACKETS" --flows "$FLOWS" \
+        --seed "$SEED" --epochs "$EPOCHS")
+
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== nwhh_service: $AGENTS agents, $PACKETS packets, k=$K, $EPOCHS epochs =="
+
+"$BIN" --controller "${COMMON[@]}" --port 0 \
+  --port-file "$WORK/port" --out "$WORK/controller.txt" \
+  2>"$WORK/controller.log" &
+CTL_PID=$!
+
+# Wait for the controller to publish its ephemeral port.
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  kill -0 "$CTL_PID" 2>/dev/null || {
+    echo "controller died during startup:" >&2
+    cat "$WORK/controller.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "controller never published a port" >&2; exit 1; }
+PORT="$(cat "$WORK/port")"
+echo "controller on port $PORT (pid $CTL_PID)"
+
+AGENT_PIDS=()
+for i in $(seq 0 $((AGENTS - 1))); do
+  if [ -n "$CRASH_AGENT" ] && [ "$i" = "$CRASH_AGENT" ]; then
+    # The faulty agent: crash-exits (no GOODBYE, dead TCP peer) right
+    # after publishing CRASH_EPOCH, then a fresh process with the same id
+    # replays its whole deterministic stream. The controller dedups the
+    # replayed entries, so the final merge is unaffected — that is the
+    # property under test.
+    (
+      "$BIN" --agent --id "$i" --port "$PORT" "${COMMON[@]}" \
+        --crash-after-epoch "$CRASH_EPOCH" 2>>"$WORK/agent$i.log" || true
+      echo "restarting crashed agent $i" >>"$WORK/agent$i.log"
+      "$BIN" --agent --id "$i" --port "$PORT" "${COMMON[@]}" \
+        2>>"$WORK/agent$i.log"
+    ) &
+  else
+    "$BIN" --agent --id "$i" --port "$PORT" "${COMMON[@]}" \
+      2>"$WORK/agent$i.log" &
+  fi
+  AGENT_PIDS+=($!)
+done
+
+FAIL=0
+for pid in "${AGENT_PIDS[@]}"; do
+  wait "$pid" || FAIL=1
+done
+wait "$CTL_PID" || FAIL=1
+if [ "$FAIL" != 0 ]; then
+  echo "a process exited non-zero; logs in $WORK" >&2
+  tail -n 20 "$WORK"/*.log >&2 || true
+  exit 1
+fi
+
+"$BIN" --golden "${COMMON[@]}" --out "$WORK/golden.txt" \
+  2>"$WORK/golden.log"
+
+if diff -u "$WORK/golden.txt" "$WORK/controller.txt" >"$WORK/diff.txt"; then
+  SAMPLES="$(grep -c '^sample ' "$WORK/controller.txt" || true)"
+  echo "OK: merged top-q ($SAMPLES entries) exactly equals the golden run"
+  if grep -E 'straggles=[1-9]' "$WORK/controller.log" >/dev/null; then
+    echo "OK: controller observed the crashed agent as a straggler"
+  fi
+  rm -rf "$WORK"
+else
+  echo "FAIL: merged sample differs from golden (see $WORK/diff.txt)" >&2
+  head -n 20 "$WORK/diff.txt" >&2
+  exit 1
+fi

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -154,7 +155,18 @@ class NwhhController {
   void collect(const NmpT& nmp) {
     report_.clear();
     nmp.report_into(report_);
-    for (const auto& e : report_) {
+    collect_entries(report_);
+  }
+
+  /// The single merge implementation. Entries arrive in report convention
+  /// (val = −hash, as produced by Nmp::report_into); the in-process
+  /// collect() above, the serialized path (nwhh_wire.hpp), and the
+  /// networked controller service (net/controller.hpp) all funnel through
+  /// here, so the three deployment shapes cannot diverge. Re-shipping an
+  /// entry is idempotent (dedup by packet id), which is what makes agent
+  /// reconnect-and-replay safe.
+  void collect_entries(std::span<const NwhhEntry> entries) {
+    for (const auto& e : entries) {
       if (seen_.insert(e.id.packet_id).second) {
         pool_.push_back(NwhhEntry{e.id, -e.val});  // store the raw hash
       }

@@ -8,6 +8,11 @@
 // directly (collect_serialized), and a report's wire size — 24 bytes per
 // sampled packet — is the per-epoch control-plane cost the paper's
 // network-wide schemes are designed to keep at O(k).
+//
+// Byte-level encoding rides the shared codec (common/codec.hpp) — the
+// same little-endian primitives the durability archives use. The framed
+// service protocol (net/protocol.hpp) embeds the body of this encoding
+// (count + records, no magic) as its REPORT payload.
 #pragma once
 
 #include <cstdint>
@@ -17,85 +22,101 @@
 #include <vector>
 
 #include "apps/nwhh.hpp"
+#include "common/codec.hpp"
 
 namespace qmax::apps {
 
 inline constexpr std::uint32_t kReportMagic = 0x51524E57;  // "QRNW"
 inline constexpr std::uint32_t kReportVersion = 1;
 
+/// Bytes per serialized NwhhEntry record (packet id, flow, value).
+inline constexpr std::size_t kReportRecordBytes = 24;
+
+/// Append a report's body (count + fixed-width records, no magic) to a
+/// byte buffer. This is the payload embedded verbatim in framed REPORT
+/// messages (net/protocol.hpp).
+inline void encode_report_body(std::span<const NwhhEntry> report,
+                               std::vector<std::uint8_t>& out) {
+  namespace codec = common::codec;
+  out.reserve(out.size() + 8 + report.size() * kReportRecordBytes);
+  codec::put_le(out, static_cast<std::uint64_t>(report.size()));
+  for (const NwhhEntry& e : report) {
+    codec::put_le(out, e.id.packet_id);
+    codec::put_le(out, e.id.flow);
+    codec::put_f64(out, e.val);
+  }
+}
+
+/// Parse a report body from a cursor. Throws std::runtime_error on a
+/// count that cannot fit the remaining bytes (checked *before* any
+/// allocation: a hostile 2^63-scale count must not reach reserve), on
+/// truncation, and — when `expect_end` — on trailing garbage after the
+/// declared records.
+[[nodiscard]] inline std::vector<NwhhEntry> decode_report_body(
+    common::codec::Cursor<std::uint8_t>& cur, bool expect_end = true) {
+  std::uint64_t count = 0;
+  if (!cur.take_le(count)) {
+    throw std::runtime_error("nwhh report: truncated");
+  }
+  // Bound the declared count against the bytes actually present before
+  // sizing anything. The comparison divides instead of multiplying so a
+  // near-2^64 count cannot wrap the arithmetic and sneak past.
+  if (count > cur.remaining() / kReportRecordBytes) {
+    throw std::runtime_error("nwhh report: record count exceeds payload");
+  }
+  std::vector<NwhhEntry> report;
+  report.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NwhhEntry e;
+    if (!cur.take_le(e.id.packet_id) || !cur.take_le(e.id.flow) ||
+        !cur.take_f64(e.val)) {
+      throw std::runtime_error("nwhh report: truncated");
+    }
+    report.push_back(e);
+  }
+  if (expect_end && !cur.at_end()) {
+    throw std::runtime_error("nwhh report: trailing bytes after records");
+  }
+  return report;
+}
+
 /// Serialize a report (as produced by Nmp::report_into) to bytes.
 [[nodiscard]] inline std::vector<std::uint8_t> encode_report(
     std::span<const NwhhEntry> report) {
+  namespace codec = common::codec;
   std::vector<std::uint8_t> out;
-  out.reserve(16 + report.size() * 24);
-  // resize+memcpy rather than insert(range): GCC 12 raises a spurious
-  // -Wstringop-overflow on the range form with constexpr sources.
-  auto put = [&out](const void* p, std::size_t n) {
-    const std::size_t off = out.size();
-    out.resize(off + n);
-    std::memcpy(out.data() + off, p, n);
-  };
-  put(&kReportMagic, 4);
-  put(&kReportVersion, 4);
-  const std::uint64_t count = report.size();
-  put(&count, 8);
-  for (const NwhhEntry& e : report) {
-    put(&e.id.packet_id, 8);
-    put(&e.id.flow, 8);
-    put(&e.val, 8);
-  }
+  out.reserve(16 + report.size() * kReportRecordBytes);
+  codec::put_le(out, kReportMagic);
+  codec::put_le(out, kReportVersion);
+  encode_report_body(report, out);
   return out;
 }
 
 /// Parse a report produced by encode_report. Throws std::runtime_error on
-/// corruption (bad magic/version, truncation, or trailing bytes).
+/// corruption (bad magic/version, truncation, hostile record counts, or
+/// trailing bytes).
 [[nodiscard]] inline std::vector<NwhhEntry> decode_report(
     std::span<const std::uint8_t> bytes) {
-  std::size_t off = 0;
-  auto take = [&](void* p, std::size_t n) {
-    if (off + n > bytes.size()) {
-      throw std::runtime_error("nwhh report: truncated");
-    }
-    std::memcpy(p, bytes.data() + off, n);
-    off += n;
-  };
+  common::codec::Cursor<std::uint8_t> cur(bytes);
   std::uint32_t magic = 0, version = 0;
-  take(&magic, 4);
-  take(&version, 4);
+  if (!cur.take_le(magic) || !cur.take_le(version)) {
+    throw std::runtime_error("nwhh report: truncated");
+  }
   if (magic != kReportMagic) {
     throw std::runtime_error("nwhh report: bad magic");
   }
   if (version != kReportVersion) {
     throw std::runtime_error("nwhh report: unsupported version");
   }
-  std::uint64_t count = 0;
-  take(&count, 8);
-  if (bytes.size() - off != count * 24) {
-    throw std::runtime_error("nwhh report: length mismatch");
-  }
-  std::vector<NwhhEntry> report;
-  report.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    NwhhEntry e;
-    take(&e.id.packet_id, 8);
-    take(&e.id.flow, 8);
-    take(&e.val, 8);
-    report.push_back(e);
-  }
-  return report;
+  return decode_report_body(cur);
 }
 
 /// Controller-side ingestion of a serialized report: the remote
-/// equivalent of NwhhController::collect.
+/// equivalent of NwhhController::collect. Routes through the same
+/// collect_entries merge as the in-process path.
 inline void collect_serialized(NwhhController& controller,
                                std::span<const std::uint8_t> bytes) {
-  struct Adapter {
-    std::vector<NwhhEntry> entries;
-    void report_into(std::vector<NwhhEntry>& out) const {
-      out.insert(out.end(), entries.begin(), entries.end());
-    }
-  };
-  controller.collect(Adapter{decode_report(bytes)});
+  controller.collect_entries(decode_report(bytes));
 }
 
 }  // namespace qmax::apps

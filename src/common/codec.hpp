@@ -1,0 +1,156 @@
+// Shared binary-codec primitives: fixed-width little-endian field
+// encoding and CRC-64, used by both the durability archives
+// (durability/format.hpp) and the network wire formats (apps/nwhh_wire.hpp,
+// net/protocol.hpp).
+//
+// Before this header existed the put/get/memcpy helpers and the CRC table
+// were duplicated per consumer; the snapshot format and the wire format
+// could silently drift. Everything byte-level now lives here once:
+//
+//   * store_le / load_le   — unaligned fixed-width scalar access. All
+//     supported targets are little-endian (x86-64, AArch64 in LE mode),
+//     so a memcpy IS the little-endian encoding; the static_assert makes
+//     the assumption explicit instead of silent.
+//   * append / put_le      — appenders over any byte-element vector
+//     (std::uint8_t for wire buffers, std::byte for archives).
+//   * Cursor               — a bounds-checked, non-throwing read cursor;
+//     consumers layer their own error policy (SnapshotError, protocol
+//     drop, ...) over its bool results.
+//   * crc64                — CRC-64/XZ (ECMA-182, reflected), table built
+//     on first use. One polynomial for snapshots and frames alike, so a
+//     corruption test written against either format exercises the same
+//     arithmetic.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace qmax::common::codec {
+
+static_assert(std::endian::native == std::endian::little,
+              "codec assumes a little-endian target; add byte swaps here "
+              "before porting to a big-endian platform");
+
+/// Byte-sized element types a buffer may be made of.
+template <typename B>
+concept ByteLike = sizeof(B) == 1 && std::is_trivially_copyable_v<B>;
+
+/// Scalar types that may travel as raw little-endian bytes.
+template <typename T>
+concept Scalar = std::is_arithmetic_v<T> && std::is_trivially_copyable_v<T>;
+
+/// Unaligned little-endian store of a fixed-width scalar.
+template <Scalar T>
+inline void store_le(void* dst, T v) noexcept {
+  std::memcpy(dst, &v, sizeof v);
+}
+
+/// Unaligned little-endian load of a fixed-width scalar.
+template <Scalar T>
+[[nodiscard]] inline T load_le(const void* src) noexcept {
+  T v;
+  std::memcpy(&v, src, sizeof v);
+  return v;
+}
+
+/// Append `n` raw bytes to a byte vector.
+template <ByteLike B>
+inline void append(std::vector<B>& out, const void* p, std::size_t n) {
+  // resize+memcpy rather than insert(range): GCC 12 raises a spurious
+  // -Wstringop-overflow on the range form with constexpr sources. The
+  // n == 0 guard keeps memcpy away from a null source (empty payloads).
+  if (n == 0) return;
+  const std::size_t off = out.size();
+  out.resize(off + n);
+  std::memcpy(out.data() + off, p, n);
+}
+
+/// Append one fixed-width scalar, little-endian.
+template <ByteLike B, Scalar T>
+inline void put_le(std::vector<B>& out, T v) {
+  append(out, &v, sizeof v);
+}
+
+/// Append a double as its IEEE-754 bit pattern (NaN payloads and signed
+/// zeros round-trip exactly).
+template <ByteLike B>
+inline void put_f64(std::vector<B>& out, double v) {
+  put_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked forward read cursor over a byte span. Every take_*
+/// returns false on underrun and leaves the output untouched; the cursor
+/// itself never throws, so callers choose their own failure policy.
+template <ByteLike B>
+class Cursor {
+ public:
+  explicit Cursor(std::span<const B> bytes) noexcept : buf_(bytes) {}
+
+  [[nodiscard]] bool take(void* p, std::size_t n) noexcept {
+    if (n > remaining()) return false;
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  template <Scalar T>
+  [[nodiscard]] bool take_le(T& v) noexcept {
+    return take(&v, sizeof v);
+  }
+
+  [[nodiscard]] bool take_f64(double& v) noexcept {
+    std::uint64_t bits = 0;
+    if (!take_le(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// Advance without copying (e.g. to skip a payload already validated).
+  [[nodiscard]] bool skip(std::size_t n) noexcept {
+    if (n > remaining()) return false;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buf_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const B> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected). Table-driven, one table
+/// built on first use; fast enough for snapshot- and frame-sized payloads
+/// and with far better burst-error detection than a 32-bit sum.
+[[nodiscard]] inline std::uint64_t crc64(const void* data,
+                                         std::size_t len) noexcept {
+  static const auto table = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      std::uint64_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xC96C5795D7870F42ull ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~0ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace qmax::common::codec

@@ -35,6 +35,15 @@
 //                    between temp-write and rename (mode selected by the
 //                    schedule's magnitude % 3); restore must detect and
 //                    reject the damaged epoch.
+//   kNetConnect    — transport connect() attempts fail as if the peer
+//                    refused; drives the agent's reconnect/backoff path.
+//   kNetRead       — a transport read reports the connection reset
+//                    mid-stream (after whatever bytes already arrived),
+//                    so frame reassembly sees arbitrary truncation points.
+//   kNetWrite      — a transport flush reports the connection reset
+//                    before draining its buffer; the sender must treat
+//                    the session as lost and the receiver must cope with
+//                    a partial frame.
 //
 // Schedules are deterministic: a site fires either periodically
 // ((hit + phase) % period == 0) or pseudo-randomly from a seeded hash of
@@ -73,8 +82,11 @@ enum class Site : unsigned {
   kClockSkew,
   kCrashPoint,
   kSnapshotTornWrite,
+  kNetConnect,
+  kNetRead,
+  kNetWrite,
 };
-inline constexpr unsigned kSiteCount = 6;
+inline constexpr unsigned kSiteCount = 9;
 
 /// Thrown by maybe_crash() to simulate process death at an injected site.
 /// Deliberately NOT derived from std::exception: production catch(...)-free
@@ -240,6 +252,19 @@ inline void maybe_crash() {
   return static_cast<TornWrite>(m % 3);
 }
 
+/// Transport injection points: true means "pretend this connect / read /
+/// write hit a connection failure" (net/transport.hpp maps each onto the
+/// matching error path).
+[[nodiscard]] inline bool net_connect_fails() noexcept {
+  return should_fire(Site::kNetConnect);
+}
+[[nodiscard]] inline bool net_read_fails() noexcept {
+  return should_fire(Site::kNetRead);
+}
+[[nodiscard]] inline bool net_write_fails() noexcept {
+  return should_fire(Site::kNetWrite);
+}
+
 #else  // QMAX_FAULT_ENABLED
 
 // Disabled: every hook is an inline no-op the optimizer deletes.
@@ -263,6 +288,9 @@ inline void maybe_crash() noexcept {}
 [[nodiscard]] inline TornWrite torn_write() noexcept {
   return TornWrite::kNone;
 }
+[[nodiscard]] inline bool net_connect_fails() noexcept { return false; }
+[[nodiscard]] inline bool net_read_fails() noexcept { return false; }
+[[nodiscard]] inline bool net_write_fails() noexcept { return false; }
 
 #endif  // QMAX_FAULT_ENABLED
 

@@ -23,7 +23,6 @@
 // identity, not value equality.
 #pragma once
 
-#include <array>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -33,6 +32,8 @@
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include "common/codec.hpp"
 
 namespace qmax::durability {
 
@@ -45,29 +46,10 @@ class SnapshotError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// CRC-64/XZ (ECMA-182 polynomial, reflected). Table-driven, one table
-/// built on first use; fast enough for snapshot-sized payloads and with
-/// far better burst-error detection than a 32-bit sum.
-[[nodiscard]] inline std::uint64_t crc64(const void* data,
-                                         std::size_t len) noexcept {
-  static const auto table = [] {
-    std::array<std::uint64_t, 256> t{};
-    for (std::uint64_t i = 0; i < 256; ++i) {
-      std::uint64_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? (0xC96C5795D7870F42ull ^ (c >> 1)) : (c >> 1);
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t crc = ~0ull;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return ~crc;
-}
+/// CRC-64/XZ, shared with the wire formats. One polynomial for snapshots
+/// and network frames alike (common/codec.hpp); re-exported here so
+/// durability call sites keep their historical spelling.
+using common::codec::crc64;
 
 /// Serializing archive: appends fields to an owned byte vector.
 class Writer {
@@ -120,19 +102,19 @@ class Writer {
     append(&v, sizeof v);
   }
   void append(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    common::codec::append(buf_, p, n);
   }
   std::vector<std::byte> buf_;
 };
 
-/// Deserializing archive: consumes fields from a bounds-checked span.
-/// Every under-run, over-run, or config mismatch throws SnapshotError.
+/// Deserializing archive: consumes fields from a bounds-checked cursor
+/// (common/codec.hpp). Every under-run, over-run, or config mismatch
+/// throws SnapshotError.
 class Reader {
  public:
   static constexpr bool kLoading = true;
 
-  explicit Reader(std::span<const std::byte> payload) : buf_(payload) {}
+  explicit Reader(std::span<const std::byte> payload) : cur_(payload) {}
 
   void u32(std::uint32_t& v) { v = get<std::uint32_t>(); }
   void u64(std::uint64_t& v) { v = get<std::uint64_t>(); }
@@ -175,7 +157,7 @@ class Reader {
   }
 
   [[nodiscard]] std::size_t remaining() const noexcept {
-    return buf_.size() - pos_;
+    return cur_.remaining();
   }
 
   /// Restores must consume the payload exactly: trailing bytes mean the
@@ -192,12 +174,9 @@ class Reader {
     return v;
   }
   void copy_out(void* p, std::size_t n) {
-    if (n > remaining()) fail("truncated payload");
-    std::memcpy(p, buf_.data() + pos_, n);
-    pos_ += n;
+    if (!cur_.take(p, n)) fail("truncated payload");
   }
-  std::span<const std::byte> buf_;
-  std::size_t pos_ = 0;
+  common::codec::Cursor<std::byte> cur_;
 };
 
 }  // namespace qmax::durability

@@ -52,17 +52,18 @@ struct ImageInfo {
 
 namespace detail {
 
+// At-offset views over the shared little-endian codec (common/codec.hpp):
+// the header is fixed-layout, so fields are written into a pre-sized
+// buffer rather than appended.
 template <typename T>
 inline void put_le(std::vector<std::byte>& buf, std::size_t at, T v) {
-  std::memcpy(buf.data() + at, &v, sizeof v);
+  common::codec::store_le(buf.data() + at, v);
 }
 
 template <typename T>
 [[nodiscard]] inline T get_le(std::span<const std::byte> buf,
                               std::size_t at) {
-  T v;
-  std::memcpy(&v, buf.data() + at, sizeof v);
-  return v;
+  return common::codec::load_le<T>(buf.data() + at);
 }
 
 }  // namespace detail

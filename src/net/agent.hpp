@@ -1,0 +1,224 @@
+// Agent-side session layer: an NMP that ships its sample over the wire.
+//
+// Layer 3 of the networked NWHH path (DESIGN.md §9). A ServiceAgent wraps
+// an apps::Nmp (the q-MIN reservoir this paper accelerates) and speaks the
+// framed protocol to one controller:
+//
+//   connect → HELLO(k) → per epoch: REPORT(delta) → await ACK
+//                         interleaved HEARTBEATs → GOODBYE
+//
+// Delta shipping: a packet's hash never changes, so once an entry has been
+// ACKed it never needs to travel again — each epoch's REPORT carries only
+// the sample entries whose packet id has not yet been acknowledged. On a
+// fresh connection after a disconnect the not-yet-ACKed suffix is simply
+// resent; the controller's merge is idempotent (dedup by packet id), so
+// replays — including a crashed agent replaying its whole stream — are
+// harmless. That idempotence, not any handshake cleverness, is what makes
+// the reconnect state machine small.
+//
+// Reconnect policy: capped exponential backoff (base·2^attempt, clamped),
+// bounded attempts per publish. All sleeps go through a pluggable sleeper
+// so tests can run the whole ladder in microseconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/nwhh.hpp"
+#include "net/transport.hpp"
+#include "qmax/concepts.hpp"
+#include "telemetry/counters.hpp"
+
+namespace qmax::net {
+
+struct AgentConfig {
+  std::uint64_t agent_id = 0;
+  std::uint16_t port = 0;          // controller port (loopback)
+  std::size_t k = 0;               // sample size; must match the controller
+  std::uint64_t hash_seed = 0;     // must be identical network-wide
+  std::uint32_t backoff_base_ms = 5;
+  std::uint32_t backoff_max_ms = 500;
+  std::uint32_t max_connect_attempts = 30;  // per publish/flush operation
+  std::uint32_t ack_timeout_ms = 5'000;     // per REPORT
+};
+
+template <Reservoir R>
+  requires std::same_as<typename R::EntryT, apps::NwhhEntry>
+class ServiceAgent {
+ public:
+  /// Gated instruments (zero-size no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter reports_sent;
+    telemetry::Counter entries_shipped;
+    telemetry::Counter entries_suppressed;  // delta filtering saved these
+    telemetry::Counter acks_received;
+    telemetry::Counter heartbeats_sent;
+    telemetry::Counter reconnects;
+    telemetry::Counter connect_failures;
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("reports_sent", reports_sent);
+      fn("entries_shipped", entries_shipped);
+      fn("entries_suppressed", entries_suppressed);
+      fn("acks_received", acks_received);
+      fn("heartbeats_sent", heartbeats_sent);
+      fn("reconnects", reconnects);
+      fn("connect_failures", connect_failures);
+    }
+  };
+
+  ServiceAgent(AgentConfig cfg, R reservoir)
+      : cfg_(cfg), nmp_(cfg.k, std::move(reservoir), cfg.hash_seed) {}
+
+  /// Process one observed packet (delegates to the NMP).
+  void observe(std::uint64_t packet_id, std::uint64_t flow) {
+    nmp_.observe(packet_id, flow);
+  }
+
+  /// Ship this epoch's sample delta and wait for the controller's ACK.
+  /// Reconnects (with backoff) as needed; returns false only once the
+  /// attempt budget is exhausted with no ACK.
+  [[nodiscard]] bool publish_epoch(std::uint64_t epoch) {
+    report_scratch_.clear();
+    nmp_.report_into(report_scratch_);
+    delta_scratch_.clear();
+    for (const auto& e : report_scratch_) {
+      if (acked_ids_.count(e.id.packet_id) == 0) {
+        delta_scratch_.push_back(e);
+      }
+    }
+    telem_.entries_suppressed.inc(report_scratch_.size() -
+                                  delta_scratch_.size());
+
+    for (std::uint32_t attempt = 0; attempt < cfg_.max_connect_attempts;
+         ++attempt) {
+      if (!ensure_session(attempt)) continue;
+      if (conn_.send_frame(make_report(cfg_.agent_id, epoch,
+                                       delta_scratch_)) != IoStatus::kOk) {
+        drop_session();
+        continue;
+      }
+      telem_.reports_sent.inc();
+      if (await_ack(epoch)) {
+        telem_.acks_received.inc();
+        telem_.entries_shipped.inc(delta_scratch_.size());
+        for (const auto& e : delta_scratch_) {
+          acked_ids_.insert(e.id.packet_id);
+        }
+        return true;
+      }
+      drop_session();
+    }
+    return false;
+  }
+
+  /// Best-effort liveness ping; a lost connection is left for the next
+  /// publish to re-establish (heartbeats never trigger the backoff ladder
+  /// on their own).
+  void heartbeat(std::uint64_t epoch) {
+    if (!conn_.open()) return;
+    if (conn_.send_frame(make_heartbeat(cfg_.agent_id, epoch,
+                                        nmp_.observed())) == IoStatus::kOk) {
+      telem_.heartbeats_sent.inc();
+    } else {
+      drop_session();
+    }
+  }
+
+  /// Orderly shutdown: GOODBYE, drain the write buffer, close.
+  void goodbye(std::uint64_t epoch) {
+    if (!conn_.open() && !ensure_session(0)) return;
+    (void)conn_.send_frame(make_goodbye(cfg_.agent_id, epoch));
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg_.ack_timeout_ms);
+    while (conn_.open() && conn_.has_pending_writes() &&
+           std::chrono::steady_clock::now() < deadline) {
+      if (conn_.flush() != IoStatus::kOk) break;
+      if (conn_.has_pending_writes()) sleep_ms_(1);
+    }
+    conn_.close();
+  }
+
+  [[nodiscard]] apps::Nmp<R>& nmp() noexcept { return nmp_; }
+  [[nodiscard]] const Telemetry& telem() const noexcept { return telem_; }
+  [[nodiscard]] bool connected() const noexcept { return conn_.open(); }
+  [[nodiscard]] std::size_t acked_entries() const noexcept {
+    return acked_ids_.size();
+  }
+
+  /// Replace the sleep primitive (tests compress the backoff ladder).
+  void set_sleeper(std::function<void(std::uint32_t)> fn) {
+    sleep_ms_ = std::move(fn);
+  }
+
+ private:
+  [[nodiscard]] bool ensure_session(std::uint32_t attempt) {
+    if (conn_.open()) return true;
+    if (attempt > 0) sleep_ms_(backoff_ms(attempt));
+    conn_ = connect_loopback(cfg_.port);
+    if (!conn_.open()) {
+      telem_.connect_failures.inc();
+      return false;
+    }
+    telem_.reconnects.inc();
+    if (conn_.send_frame(make_hello(cfg_.agent_id, cfg_.k)) !=
+        IoStatus::kOk) {
+      drop_session();
+      return false;
+    }
+    return true;
+  }
+
+  void drop_session() { conn_.close(); }
+
+  [[nodiscard]] std::uint32_t backoff_ms(std::uint32_t attempt) const {
+    // base·2^(attempt−1), capped; attempt 0 connects immediately.
+    std::uint64_t ms = cfg_.backoff_base_ms;
+    for (std::uint32_t i = 1; i < attempt && ms < cfg_.backoff_max_ms; ++i) {
+      ms *= 2;
+    }
+    return static_cast<std::uint32_t>(
+        ms < cfg_.backoff_max_ms ? ms : cfg_.backoff_max_ms);
+  }
+
+  /// Poll for the ACK of `epoch`, pumping frames until the deadline.
+  [[nodiscard]] bool await_ack(std::uint64_t epoch) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(cfg_.ack_timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::vector<PollEntry> entries(1);
+      entries[0].fd = conn_.fd();
+      entries[0].want_read = true;
+      entries[0].want_write = conn_.has_pending_writes();
+      poll_sockets(entries, 50);
+      if (entries[0].writable && conn_.flush() != IoStatus::kOk) {
+        return false;
+      }
+      const IoStatus st = conn_.pump_reads();
+      Frame f;
+      while (conn_.next_frame(f)) {
+        if (f.type == FrameType::kAck && f.epoch >= epoch) return true;
+      }
+      if (st != IoStatus::kOk || conn_.corrupt()) return false;
+    }
+    return false;
+  }
+
+  AgentConfig cfg_;
+  apps::Nmp<R> nmp_;
+  Connection conn_;
+  std::unordered_set<std::uint64_t> acked_ids_;
+  std::vector<apps::NwhhEntry> report_scratch_;
+  std::vector<apps::NwhhEntry> delta_scratch_;
+  Telemetry telem_;
+  std::function<void(std::uint32_t)> sleep_ms_ = [](std::uint32_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+};
+
+}  // namespace qmax::net

@@ -1,0 +1,341 @@
+// Controller-side session layer: many agent sessions, one global top-q.
+//
+// Layer 3 of the networked NWHH path (DESIGN.md §9), controller half. The
+// ControllerService owns the transport Listener and an apps::NwhhController
+// and runs an explicitly-pumped event loop (run_once): accept new
+// connections, reassemble frames, and react —
+//
+//   HELLO      validate k (one k network-wide or the merged estimator is
+//              meaningless), bind the connection to the agent id, revive
+//              the session if this agent was seen before (reconnect).
+//   REPORT     decode the delta, funnel it through the SAME
+//              NwhhController::collect_entries the in-process path uses,
+//              ACK the epoch. Merging is idempotent, so replayed reports
+//              from crashed-and-restarted agents are absorbed silently.
+//   HEARTBEAT  refresh liveness, record the agent's observed count.
+//   GOODBYE    mark the agent's stream complete.
+//
+// Straggler handling mirrors the cctools catalog-heartbeat pattern: a
+// session that goes silent past `heartbeat_timeout_ms` is *marked*, never
+// forgotten — its already-merged entries stay valid (the merge is a union
+// of samples), and if the agent reappears the mark is lifted and its next
+// REPORT resumes the stream. Liveness is observable per session and in
+// aggregate via telemetry counters and flight-recorder instants.
+//
+// Threading: single-threaded by design. One poll loop comfortably carries
+// hundreds of agent sessions (frames are tiny; merging is O(delta)); no
+// locks means the merge path stays exactly the in-process code.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "apps/nwhh.hpp"
+#include "net/transport.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/span.hpp"
+
+namespace qmax::net {
+
+struct ControllerConfig {
+  std::uint16_t port = 0;              // 0 = kernel-assigned; see port()
+  std::size_t k = 0;                   // network-wide sample size
+  std::uint32_t heartbeat_timeout_ms = 2'000;
+  std::size_t expected_agents = 0;     // 0 = open-ended (no done() signal)
+};
+
+/// Per-agent session state, persistent across reconnects.
+struct AgentSession {
+  std::uint64_t agent_id = 0;
+  std::uint64_t observed = 0;        // from the latest HEARTBEAT
+  std::uint64_t last_epoch = 0;      // highest epoch ACKed
+  std::uint64_t reports = 0;
+  std::uint64_t straggles = 0;  // times this session was marked silent
+  std::chrono::steady_clock::time_point last_seen{};
+  bool connected = false;
+  bool straggler = false;
+  bool goodbye = false;
+};
+
+class ControllerService {
+ public:
+  /// Gated instruments (zero-size no-ops unless -DQMAX_TELEMETRY=ON).
+  struct Telemetry {
+    telemetry::Counter accepts;
+    telemetry::Counter hellos;
+    telemetry::Counter hello_rejects;     // k mismatch / malformed body
+    telemetry::Counter reports_merged;
+    telemetry::Counter entries_merged;
+    telemetry::Counter acks_sent;
+    telemetry::Counter heartbeats;
+    telemetry::Counter goodbyes;
+    telemetry::Counter disconnects;       // resets + corrupt streams
+    telemetry::Counter protocol_errors;   // undecodable bodies
+    telemetry::Counter stragglers_marked;
+    telemetry::Counter straggler_recoveries;
+
+    template <typename Fn>
+    void visit(Fn&& fn) const {
+      fn("accepts", accepts);
+      fn("hellos", hellos);
+      fn("hello_rejects", hello_rejects);
+      fn("reports_merged", reports_merged);
+      fn("entries_merged", entries_merged);
+      fn("acks_sent", acks_sent);
+      fn("heartbeats", heartbeats);
+      fn("goodbyes", goodbyes);
+      fn("disconnects", disconnects);
+      fn("protocol_errors", protocol_errors);
+      fn("stragglers_marked", stragglers_marked);
+      fn("straggler_recoveries", straggler_recoveries);
+    }
+  };
+
+  explicit ControllerService(ControllerConfig cfg)
+      : cfg_(cfg), merged_(cfg.k) {}
+
+  /// Bind the listener. Returns false if the port cannot be acquired.
+  [[nodiscard]] bool start() { return listener_.listen_on(cfg_.port); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// One event-loop iteration: poll (bounded by `timeout_ms`), accept,
+  /// pump every connection, handle frames, scan for stragglers.
+  void run_once(int timeout_ms) {
+    std::vector<PollEntry> entries;
+    entries.reserve(peers_.size() + 1);
+    PollEntry le;
+    le.fd = listener_.fd();
+    le.want_read = true;
+    entries.push_back(le);
+    for (const auto& p : peers_) {
+      PollEntry e;
+      e.fd = p.conn.fd();
+      e.want_read = true;
+      e.want_write = p.conn.has_pending_writes();
+      entries.push_back(e);
+    }
+    poll_sockets(entries, timeout_ms);
+
+    // Peers accepted below have no poll entry yet; they are serviced on
+    // the next iteration, so the event loop only walks the polled prefix.
+    const std::size_t polled = peers_.size();
+    if (entries[0].readable) {
+      while (auto c = listener_.accept_one()) {
+        telem_.accepts.inc();
+        peers_.push_back(Peer{std::move(*c), 0, false});
+      }
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < polled; ++i) {
+      auto& p = peers_[i];
+      const auto& e = entries[i + 1];
+      bool drop = e.error;
+      if (!drop && e.writable && p.conn.flush() != IoStatus::kOk) {
+        drop = true;
+      }
+      if (!drop && e.readable &&
+          p.conn.pump_reads() != IoStatus::kOk) {
+        drop = true;  // frames already buffered are still handled below
+      }
+      // Stop on close mid-loop: a rejected HELLO (or a GOODBYE) must also
+      // discard any frames the peer pipelined behind it in the same read.
+      Frame f;
+      while (p.conn.open() && p.conn.next_frame(f)) handle_frame(p, f, now);
+      if (p.conn.corrupt()) drop = true;
+      if (drop || !p.conn.open()) retire_peer(p);
+    }
+    peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                                [](const Peer& p) { return !p.conn.open(); }),
+                 peers_.end());
+
+    scan_stragglers(now);
+  }
+
+  /// All expected agents have said GOODBYE (only meaningful when
+  /// expected_agents > 0).
+  [[nodiscard]] bool done() const {
+    if (cfg_.expected_agents == 0) return false;
+    std::size_t finished = 0;
+    for (const auto& [id, s] : sessions_) finished += s.goodbye ? 1 : 0;
+    return finished >= cfg_.expected_agents;
+  }
+
+  /// The merged network-wide view — the same NwhhController type the
+  /// in-process path produces, so downstream consumers are identical.
+  [[nodiscard]] apps::NwhhController& merged() noexcept { return merged_; }
+  [[nodiscard]] const apps::NwhhController& merged() const noexcept {
+    return merged_;
+  }
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, AgentSession>&
+  sessions() const noexcept {
+    return sessions_;
+  }
+
+  [[nodiscard]] std::size_t live_agents() const {
+    std::size_t n = 0;
+    for (const auto& [id, s] : sessions_) n += s.connected ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t straggler_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, s] : sessions_) n += s.straggler ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] const Telemetry& telem() const noexcept { return telem_; }
+
+  void stop() {
+    for (auto& p : peers_) p.conn.close();
+    peers_.clear();
+    listener_.close();
+  }
+
+ private:
+  struct Peer {
+    Connection conn;
+    std::uint64_t agent_id = 0;
+    bool identified = false;
+  };
+
+  void handle_frame(Peer& p, const Frame& f,
+                    std::chrono::steady_clock::time_point now) {
+    switch (f.type) {
+      case FrameType::kHello:
+        try {
+          const HelloBody b = decode_hello(f.payload);
+          if (b.k != cfg_.k) {
+            telem_.hello_rejects.inc();
+            p.conn.close();
+            return;
+          }
+        } catch (const std::runtime_error&) {
+          telem_.hello_rejects.inc();
+          p.conn.close();
+          return;
+        }
+        telem_.hellos.inc();
+        p.agent_id = f.agent_id;
+        p.identified = true;
+        touch(f.agent_id, now).connected = true;
+        telemetry::instant(telemetry::Stage::kNetMerge, "agent_hello");
+        break;
+
+      case FrameType::kReport: {
+        std::vector<apps::NwhhEntry> delta;
+        try {
+          delta = decode_report_payload(f.payload);
+        } catch (const std::runtime_error&) {
+          telem_.protocol_errors.inc();
+          p.conn.close();
+          return;
+        }
+        {
+          [[maybe_unused]] telemetry::Span sp(telemetry::Stage::kNetMerge);
+          merged_.collect_entries(delta);
+        }
+        telem_.reports_merged.inc();
+        telem_.entries_merged.inc(delta.size());
+        auto& s = touch(f.agent_id, now);
+        s.connected = true;
+        s.reports += 1;
+        if (f.epoch > s.last_epoch) s.last_epoch = f.epoch;
+        if (p.conn.send_frame(make_ack(f.agent_id, f.epoch)) ==
+            IoStatus::kOk) {
+          telem_.acks_sent.inc();
+        }
+        break;
+      }
+
+      case FrameType::kHeartbeat: {
+        std::uint64_t observed = 0;
+        try {
+          observed = decode_heartbeat(f.payload).observed;
+        } catch (const std::runtime_error&) {
+          telem_.protocol_errors.inc();
+          return;
+        }
+        auto& s = touch(f.agent_id, now);
+        s.observed = observed;
+        s.connected = true;
+        telem_.heartbeats.inc();
+        break;
+      }
+
+      case FrameType::kGoodbye: {
+        auto& s = touch(f.agent_id, now);
+        s.goodbye = true;
+        s.connected = false;
+        telem_.goodbyes.inc();
+        telemetry::instant(telemetry::Stage::kNetMerge, "agent_goodbye");
+        p.conn.close();
+        break;
+      }
+
+      case FrameType::kAck:
+        // Controller never expects ACKs; count and ignore.
+        telem_.protocol_errors.inc();
+        break;
+    }
+  }
+
+  /// Look up (or create) the session and refresh liveness. A touched
+  /// straggler has, by definition, spoken again: lift the mark.
+  AgentSession& touch(std::uint64_t agent_id,
+                      std::chrono::steady_clock::time_point now) {
+    auto [it, inserted] = sessions_.try_emplace(agent_id);
+    AgentSession& s = it->second;
+    if (inserted) s.agent_id = agent_id;
+    if (s.straggler) {
+      s.straggler = false;
+      telem_.straggler_recoveries.inc();
+      telemetry::instant(telemetry::Stage::kNetMerge, "straggler_recover");
+    }
+    s.last_seen = now;
+    return s;
+  }
+
+  void retire_peer(Peer& p) {
+    if (p.conn.open()) p.conn.close();
+    bool orderly = false;
+    if (p.identified) {
+      auto it = sessions_.find(p.agent_id);
+      if (it != sessions_.end()) {
+        it->second.connected = false;
+        orderly = it->second.goodbye;
+      }
+    }
+    if (!orderly) telem_.disconnects.inc();
+  }
+
+  void scan_stragglers(std::chrono::steady_clock::time_point now) {
+    const auto limit = std::chrono::milliseconds(cfg_.heartbeat_timeout_ms);
+    for (auto& [id, s] : sessions_) {
+      if (s.goodbye || s.straggler) continue;
+      if (now - s.last_seen > limit) {
+        s.straggler = true;
+        s.straggles += 1;
+        telem_.stragglers_marked.inc();
+        telemetry::instant(telemetry::Stage::kNetMerge, "straggler_mark");
+      }
+    }
+  }
+
+  ControllerConfig cfg_;
+  Listener listener_;
+  std::vector<Peer> peers_;
+  std::unordered_map<std::uint64_t, AgentSession> sessions_;
+  apps::NwhhController merged_;
+  Telemetry telem_;
+};
+
+}  // namespace qmax::net

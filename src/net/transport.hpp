@@ -1,0 +1,284 @@
+// Nonblocking TCP transport for the distributed measurement service.
+//
+// Layer 2 of the networked NWHH path (DESIGN.md §9): a thin, allocation-
+// conscious wrapper over POSIX sockets that the session layer (agent.hpp,
+// controller.hpp) drives with a poll loop. Responsibilities:
+//
+//   * Listener  — bind/listen on a loopback-or-any address, nonblocking
+//                 accept. Port 0 requests an ephemeral port; port() then
+//                 reports what the kernel assigned (tests and the launcher
+//                 script rely on this to avoid port collisions).
+//   * Connection — one established stream: a write buffer flushed
+//                 opportunistically, a read path that feeds the protocol
+//                 FrameAssembler, and frame-granular send/receive. All
+//                 I/O is nonblocking; callers multiplex with poll_sockets.
+//   * Fault injection — connect/read/write sites from common/fault.hpp
+//                 (kNetConnect/kNetRead/kNetWrite). When armed, each site
+//                 turns a healthy syscall into a connection failure, so
+//                 the retry/reconnect machinery above is exercisable
+//                 deterministically, without a flaky network.
+//
+// Error model: no exceptions on the data path. Every I/O step returns
+// IoStatus; kReset covers both orderly EOF and errors/injected faults —
+// either way the session is gone and the owner decides whether to retry.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "net/protocol.hpp"
+
+namespace qmax::net {
+
+/// Move-only owner of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close_fd(); }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close_fd() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+enum class IoStatus {
+  kOk,     // progressed (possibly zero bytes — would-block is not an error)
+  kReset,  // peer closed, connection errored, or an injected fault fired
+};
+
+/// One established frame-bearing stream.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(Socket s) noexcept : sock_(std::move(s)) {}
+
+  [[nodiscard]] bool open() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  void close() noexcept { sock_.close_fd(); }
+
+  /// Queue one frame and opportunistically flush. The frame is fully
+  /// buffered even if the socket would block — callers never see partial
+  /// sends, only kReset when the connection is gone.
+  IoStatus send_frame(const Frame& f) {
+    if (!open()) return IoStatus::kReset;
+    const auto bytes = encode_frame(f);
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+    return flush();
+  }
+
+  /// Drain as much of the write buffer as the socket accepts.
+  IoStatus flush() {
+    if (!open()) return IoStatus::kReset;
+    while (out_pos_ < out_.size()) {
+      if (fault::net_write_fails()) {
+        close();
+        return IoStatus::kReset;
+      }
+      const ssize_t n =
+          ::send(sock_.fd(), out_.data() + out_pos_, out_.size() - out_pos_,
+                 MSG_NOSIGNAL);
+      if (n > 0) {
+        out_pos_ += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return IoStatus::kReset;
+    }
+    if (out_pos_ == out_.size()) {
+      out_.clear();
+      out_pos_ = 0;
+    }
+    return IoStatus::kOk;
+  }
+
+  [[nodiscard]] bool has_pending_writes() const noexcept {
+    return out_pos_ < out_.size();
+  }
+
+  /// Read whatever the socket has and feed the reassembler. Returns
+  /// kReset on EOF / error / injected fault; buffered complete frames
+  /// remain retrievable via next_frame() even after a reset.
+  IoStatus pump_reads() {
+    if (!open()) return IoStatus::kReset;
+    std::uint8_t chunk[16 * 1024];
+    for (;;) {
+      if (fault::net_read_fails()) {
+        close();
+        return IoStatus::kReset;
+      }
+      const ssize_t n = ::recv(sock_.fd(), chunk, sizeof chunk, 0);
+      if (n > 0) {
+        assembler_.feed(chunk, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < sizeof chunk) return IoStatus::kOk;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return IoStatus::kOk;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      close();  // n == 0 (orderly EOF) or a hard error
+      return IoStatus::kReset;
+    }
+  }
+
+  /// Next fully reassembled frame, if any.
+  [[nodiscard]] bool next_frame(Frame& out) { return assembler_.next(out); }
+
+  /// The stream decoded to provably-corrupt bytes; drop the connection.
+  [[nodiscard]] bool corrupt() const noexcept { return assembler_.corrupt(); }
+
+ private:
+  Socket sock_;
+  FrameAssembler assembler_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
+};
+
+/// Nonblocking accept()or.
+class Listener {
+ public:
+  /// Bind and listen on 127.0.0.1:`port` (port 0 = kernel-assigned).
+  /// Returns false (and stays closed) on any syscall failure.
+  [[nodiscard]] bool listen_on(std::uint16_t port, int backlog = 128) {
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid()) return false;
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return false;
+    }
+    if (::listen(s.fd(), backlog) != 0) return false;
+    if (!set_nonblocking(s.fd())) return false;
+    socklen_t len = sizeof addr;
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    sock_ = std::move(s);
+    return true;
+  }
+
+  /// Accept one pending connection, if any.
+  [[nodiscard]] std::optional<Connection> accept_one() {
+    if (!sock_.valid()) return std::nullopt;
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd < 0) return std::nullopt;
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Connection(Socket(fd));
+  }
+
+  [[nodiscard]] bool open() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  void close() noexcept { sock_.close_fd(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect to 127.0.0.1:`port` (the service is a localhost
+/// deployment; multi-host would only change the address here), then
+/// switch to nonblocking for the session. Returns a closed Connection on
+/// failure — including when the kNetConnect fault site fires.
+[[nodiscard]] inline Connection connect_loopback(std::uint16_t port) {
+  if (fault::net_connect_fails()) return Connection{};
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Connection{};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return Connection{};
+  }
+  if (!set_nonblocking(s.fd())) return Connection{};
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Connection(std::move(s));
+}
+
+/// poll() over raw fds; returns the ready mask per fd (POLLIN/POLLOUT as
+/// requested). A tiny wrapper so the session layers need no <poll.h>.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;   // out
+  bool writable = false;   // out
+  bool error = false;      // out (HUP/ERR/NVAL)
+};
+
+inline void poll_sockets(std::vector<PollEntry>& entries, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const auto& e : entries) {
+    short events = 0;
+    if (e.want_read) events |= POLLIN;
+    if (e.want_write) events |= POLLOUT;
+    fds.push_back(pollfd{e.fd, events, 0});
+  }
+  const int rc =
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    auto& e = entries[i];
+    e.readable = e.writable = e.error = false;
+    if (rc <= 0) continue;
+    e.readable = (fds[i].revents & POLLIN) != 0;
+    e.writable = (fds[i].revents & POLLOUT) != 0;
+    e.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+}
+
+}  // namespace qmax::net

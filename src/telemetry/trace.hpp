@@ -69,6 +69,8 @@ enum class Stage : std::uint8_t {
   kOverload,        // overload-ladder transitions (instant events)
   kSnapshotWrite,   // durability: serialize + atomic persist of an epoch
   kRestore,         // durability: validate + load of a snapshot epoch
+  kNetFrame,        // net: encode/decode + reassembly of one wire frame
+  kNetMerge,        // net: controller merging one agent REPORT
   kCount
 };
 
@@ -92,6 +94,8 @@ inline constexpr std::size_t kStageCount =
     case Stage::kOverload: return "overload";
     case Stage::kSnapshotWrite: return "snapshot_write";
     case Stage::kRestore: return "restore";
+    case Stage::kNetFrame: return "net_frame";
+    case Stage::kNetMerge: return "net_merge";
     case Stage::kCount: break;
   }
   return "?";

@@ -68,6 +68,62 @@ TEST(NwhhWire, RejectsCorruption) {
                std::runtime_error);
 }
 
+TEST(NwhhWire, HostileRecordCountCannotWrapTheSizeCheck) {
+  // Regression: the old validator compared `bytes - off != count * 24`,
+  // so count = 2^63 + 1 wrapped the multiplication to exactly 24 and a
+  // single bogus record slipped past the check straight into
+  // reserve(count) — escaping the wire layer's std::runtime_error
+  // contract as length_error/bad_alloc. The count must now be bounded
+  // against the remaining bytes BEFORE any allocation, with arithmetic
+  // that cannot wrap.
+  std::vector<std::uint8_t> evil;
+  auto put32 = [&evil](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      evil.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put64 = [&evil](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      evil.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put32(kReportMagic);
+  put32(kReportVersion);
+  put64((std::uint64_t{1} << 63) + 1);   // count * 24 wraps to 24
+  for (int i = 0; i < 24; ++i) evil.push_back(0);  // one "record"
+  EXPECT_THROW(decode_report(evil), std::runtime_error);
+
+  // Off-by-one flavor: count claims one more record than is present.
+  std::vector<std::uint8_t> short_by_one;
+  evil.swap(short_by_one);
+  put32(kReportMagic);
+  put32(kReportVersion);
+  put64(2);
+  for (int i = 0; i < 24; ++i) evil.push_back(7);
+  EXPECT_THROW(decode_report(evil), std::runtime_error);
+}
+
+TEST(NwhhWire, BodyCodecRejectsTrailingBytes) {
+  // The framed REPORT payload path decodes bodies directly; it must
+  // apply the same trailing-garbage discipline as the standalone format.
+  const auto report = sample_report(5, 9);
+  std::vector<std::uint8_t> body;
+  encode_report_body(report, body);
+
+  qmax::common::codec::Cursor<std::uint8_t> ok(body);
+  EXPECT_EQ(decode_report_body(ok).size(), 5u);
+
+  body.push_back(0xAA);
+  qmax::common::codec::Cursor<std::uint8_t> padded(body);
+  EXPECT_THROW(decode_report_body(padded), std::runtime_error);
+
+  // ... unless the caller explicitly opts out (embedded contexts where
+  // the cursor continues into unrelated data).
+  qmax::common::codec::Cursor<std::uint8_t> lax(body);
+  EXPECT_EQ(decode_report_body(lax, /*expect_end=*/false).size(), 5u);
+  EXPECT_EQ(lax.remaining(), 1u);
+}
+
 TEST(NwhhWire, SerializedCollectionMatchesLocal) {
   // Two controllers, one fed locally and one over the wire, must agree.
   const std::size_t k = 128;
