@@ -27,11 +27,33 @@ Exit status: 1 if any strict regression, else 0. Stdlib only.
 """
 import argparse
 import json
+import re
 import sys
 
 
 def is_absolute_rate(key):
     return "mpps" in key.lower()
+
+
+# Absolute floors on same-run ratios in the NEW snapshot, independent of
+# the baseline: batched ingestion must never lose to the scalar path on
+# the headline table, even in the degenerate small-stream/large-q regime
+# where the Ψ screen stays off (a 3% tolerance absorbs quiet-host run
+# noise). Strict when the snapshot was recorded like the baseline
+# (same host, same scale) — i.e. when re-baselining — and warn-only on
+# shared CI runners, whose single-rep timings swing well past 3%.
+RATIO_FLOORS = [
+    (re.compile(r"^tab01:.*:batch_gain$"), 0.97),
+]
+
+
+def check_ratio_floors(new):
+    failures = []
+    for key, value in sorted(new.get("throughput", {}).items()):
+        for pattern, floor in RATIO_FLOORS:
+            if pattern.search(key) and value < floor:
+                failures.append(f"{key}: {fmt(value)} < floor {floor}")
+    return failures
 
 
 def fmt(v):
@@ -112,12 +134,21 @@ def main():
     for line in regressions:
         print(f"  REGRESSION: {line}")
 
+    floor_failures = check_ratio_floors(new)
+    floors_strict = not (cross_host or all_warn)
+    for line in floor_failures:
+        print(f"  {'FLOOR' if floors_strict else 'WARN (floor)'}: {line}")
+
     if shared == 0:
         print("error: snapshots share no throughput metrics", file=sys.stderr)
         return 1
     if regressions:
         print(f"{len(regressions)} strict regression(s) beyond "
               f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    if floor_failures and floors_strict:
+        print(f"{len(floor_failures)} ratio-floor violation(s)",
+              file=sys.stderr)
         return 1
     print("ok: no strict regressions")
     return 0

@@ -321,6 +321,13 @@ template <typename Id, typename Value>
 class ScreenGovernor {
  public:
   static constexpr std::size_t kWindow = 4096;
+  /// Until the governor has flipped once it decides on short windows, so
+  /// a stream that rejects from the first item — a restored reservoir, a
+  /// shard tightened by the global-Ψ broadcast, a ConcurrentQMax writer
+  /// inheriting a published bound — engages the lane screen after ~1k
+  /// items instead of paying a full scalar window. Derived from existing
+  /// state (scalar + never switched), so snapshots are unaffected.
+  static constexpr std::size_t kWarmupWindow = 1024;
   static constexpr double kEnableRate = 0.90;
   static constexpr double kDisableRate = 0.80;
 
@@ -331,7 +338,9 @@ class ScreenGovernor {
   bool observe(std::size_t n, std::size_t rejected) noexcept {
     items_ += n;
     rejected_ += rejected;
-    if (items_ < kWindow) return false;
+    const std::size_t window =
+        (!screen_ && switches_ == 0) ? kWarmupWindow : kWindow;
+    if (items_ < window) return false;
     const double rate =
         static_cast<double>(rejected_) / static_cast<double>(items_);
     items_ = 0;

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstddef>
@@ -75,6 +76,27 @@ inline void partition_top(It first, std::size_t take, It last, Comp comp) {
       telemetry::Stage::kPartitionTop);
   std::nth_element(first, first + static_cast<std::ptrdiff_t>(take - 1), last,
                    std::move(comp));
+}
+
+/// Monotone CAS-max on a shared admission bound — the one publish
+/// primitive behind every cross-writer Ψ handoff (ShardedQMax's broadcast,
+/// ConcurrentQMax's writer screens). Raises `bound` to `v` unless another
+/// publisher already holds something at least as tight; relaxed ordering
+/// is sufficient because the bound is advisory-monotone (a stale read only
+/// delays tightening, it can never admit a wrong rejection). Returns true
+/// if this call raised the bound; `retries`, when provided, accumulates
+/// the number of CAS attempts lost to concurrent publishers.
+template <typename V>
+inline bool atomic_fetch_max(std::atomic<V>& bound, V v,
+                             std::uint64_t* retries = nullptr) noexcept {
+  V cur = bound.load(std::memory_order_relaxed);
+  for (;;) {
+    if (!(v > cur)) return false;
+    if (bound.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      return true;
+    }
+    if (retries != nullptr) ++*retries;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -1029,6 +1051,9 @@ class ReservoirCore {
     maint_.tm_.batch_calls.inc();
     std::size_t admitted_in_batch = 0;
     std::size_t rejected_in_batch = 0;
+    // Same register-hoisted Ψ as add_screened: reloaded only after an
+    // admit, bit-identical decisions, no per-item reload through maint_.
+    Value psi = maint_.psi();
     if (screen_gov_.screen_enabled()) {
       for (std::size_t base = 0; base < n; base += batch::kPrefilterBlock) {
         const std::size_t m = std::min(batch::kPrefilterBlock, n - base);
@@ -1037,24 +1062,26 @@ class ReservoirCore {
           [[maybe_unused]] telemetry::Span prefilter_span(
               telemetry::Stage::kPrefilter);
           survivors =
-              batch::prefilter_above(items.data() + base, m, maint_.psi(),
+              batch::prefilter_above(items.data() + base, m, psi,
                                      batch_idx_.data(), batch_vals_.data());
         }
         rejected_in_batch += m - survivors;
         for (std::size_t s = 0; s < survivors; ++s) {
           const EntryT& e = items[base + batch_idx_[s]];
-          if (!(e.val > maint_.psi())) continue;
+          if (!(e.val > psi)) continue;
           maint_.admit(e.id, e.val);
+          psi = maint_.psi();
           ++admitted_in_batch;
         }
       }
     } else {
       for (const EntryT& e : items) {
-        if (!(e.val > maint_.psi())) {
+        if (!(e.val > psi)) {
           ++rejected_in_batch;
           continue;
         }
         maint_.admit(e.id, e.val);
+        psi = maint_.psi();
         ++admitted_in_batch;
       }
     }
@@ -1246,10 +1273,16 @@ class ReservoirCore {
     std::size_t admitted_in_batch = 0;
     std::size_t screened = 0;
     std::size_t j = 0;
+    // Ψ is hoisted into a register and reloaded only after an admit — the
+    // only point it can move mid-batch (single writer; floor folds happen
+    // between batches). The compiler cannot hoist it itself: it must
+    // assume `vals` may alias the reservoir, forcing a reload per item.
+    // Admission decisions are bit-identical to the per-item reload.
+    Value psi = maint_.psi();
     if (screen_gov_.screen_enabled()) {
       const batch::SimdTier tier = batch::simd_active_tier();
       for (; j + batch::kScreenLane <= n; j += batch::kScreenLane) {
-        if (!batch::lane_any_above(vals + j, maint_.psi(), tier)) {
+        if (!batch::lane_any_above(vals + j, psi, tier)) {
           screened += batch::kScreenLane;
           continue;
         }
@@ -1257,25 +1290,27 @@ class ReservoirCore {
         // candidate is re-tested against the live Ψ before admission (a Ψ
         // raised by a mid-lane admit rejects exactly the items scalar
         // add() would).
-        unsigned mask = batch::lane_mask_above(vals + j, maint_.psi(), tier);
+        unsigned mask = batch::lane_mask_above(vals + j, psi, tier);
         screened += batch::kScreenLane -
                     static_cast<std::size_t>(std::popcount(mask));
         while (mask != 0) {
           const std::size_t k =
               j + static_cast<std::size_t>(std::countr_zero(mask));
           mask &= mask - 1;
-          if (!(vals[k] > maint_.psi())) continue;
+          if (!(vals[k] > psi)) continue;
           maint_.admit(ids[k], vals[k]);
+          psi = maint_.psi();
           ++admitted_in_batch;
         }
       }
     }
     for (; j < n; ++j) {
-      if (!(vals[j] > maint_.psi())) {
+      if (!(vals[j] > psi)) {
         ++screened;
         continue;
       }
       maint_.admit(ids[j], vals[j]);
+      psi = maint_.psi();
       ++admitted_in_batch;
     }
     admitted_ += admitted_in_batch;

@@ -79,15 +79,18 @@ class ShardedQMax {
   /// broadcast counters below are plain fields instead, one writer each).
   struct Telemetry {
     telemetry::Counter merge_queries;     // merge-on-query invocations
+    telemetry::Counter merge_skipped_clean;  // cached merge reused as-is
     telemetry::Histogram merge_gathered;  // shard survivors concatenated
 
     template <typename Fn>
     void visit(Fn&& fn) const {
       fn("merge_queries", merge_queries);
+      fn("merge_skipped_clean", merge_skipped_clean);
       fn("merge_gathered", merge_gathered);
     }
     void reset() noexcept {
       merge_queries.reset();
+      merge_skipped_clean.reset();
       merge_gathered.reset();
     }
   };
@@ -155,21 +158,36 @@ class ShardedQMax {
   /// Append the exact global top q (fewer if the combined stream is
   /// shorter) to `out`, unordered: concatenate every shard's top-q
   /// survivors, then one partition pass over the ≤ S·q candidates.
+  ///
+  /// Clean-query skip: each shard's processed() is its dirty epoch —
+  /// every mutation (adds, folds, maintenance) happens inside an add, so
+  /// an unchanged count means the shard's live set is unchanged. When no
+  /// shard advanced since the last merge, the cached result is replayed
+  /// without re-gathering S·q candidates or re-running partition_top
+  /// (telemetry: merge_skipped_clean). Dashboards and watchdogs that poll
+  /// query() between bursts pay O(q) copy instead of O(S·q log) merge.
   void query_into(std::vector<EntryT>& out) const {
     [[maybe_unused]] telemetry::Span trace_span(
         telemetry::Stage::kMergeQuery);
+    tm_.merge_queries.inc();
+    if (merge_clean()) {
+      tm_.merge_skipped_clean.inc();
+      ++merges_skipped_clean_;
+      out.insert(out.end(), merge_cache_.begin(), merge_cache_.end());
+      return;
+    }
     merge_.clear();
     for (const auto& sh : shards_) sh->core.query_into(merge_);
-    tm_.merge_queries.inc();
     tm_.merge_gathered.record(merge_.size());
     const std::size_t take = std::min(q_, merge_.size());
-    if (take == 0) return;
     if (take < merge_.size()) {
       core::partition_top(merge_.begin(), take, merge_.end(),
                           Order{.descending = true});
     }
-    out.insert(out.end(), merge_.begin(),
-               merge_.begin() + static_cast<std::ptrdiff_t>(take));
+    merge_cache_.assign(merge_.begin(),
+                        merge_.begin() + static_cast<std::ptrdiff_t>(take));
+    note_merge_epochs();
+    out.insert(out.end(), merge_cache_.begin(), merge_cache_.end());
   }
 
   [[nodiscard]] std::vector<EntryT> query() const {
@@ -181,6 +199,9 @@ class ShardedQMax {
 
   /// Forget everything (writers quiescent); equivalent to freshly built.
   void reset() noexcept {
+    merge_epoch_valid_ = false;
+    merge_cache_.clear();
+    merges_skipped_clean_ = 0;
     for (auto& sh : shards_) {
       sh->core.reset();
       sh->self_psi = kEmptyValue<Value>;
@@ -258,6 +279,11 @@ class ShardedQMax {
   [[nodiscard]] std::uint64_t shard_broadcast_folds(std::size_t s) const {
     return shards_[s]->broadcast_folds;
   }
+  /// Queries answered from the cached merge because no shard advanced
+  /// (plain counter, available in every build).
+  [[nodiscard]] std::uint64_t merges_skipped_clean() const noexcept {
+    return merges_skipped_clean_;
+  }
   [[nodiscard]] const Telemetry& telem() const noexcept { return tm_; }
 
   /// Snapshot self-description: container tag over the shard core's tag.
@@ -286,6 +312,12 @@ class ShardedQMax {
       ar.u64(sh->broadcast_folds);
       ar.u64(sh->broadcast_publishes);
       ar.u64(sh->broadcast_tightened);
+    }
+    if constexpr (Archive::kLoading) {
+      // The merge cache is derived state; a restore replaces the shards
+      // underneath it, so the next query must re-merge.
+      merge_epoch_valid_ = false;
+      merge_cache_.clear();
     }
   }
 
@@ -327,17 +359,36 @@ class ShardedQMax {
         telemetry::Stage::kPsiPublish);
     sh.published = t;
     ++sh.broadcast_publishes;
-    Value cur = global_psi_.load(std::memory_order_relaxed);
-    while (t > cur && !global_psi_.compare_exchange_weak(
-                          cur, t, std::memory_order_relaxed)) {
+    core::atomic_fetch_max(global_psi_, t);
+  }
+
+  /// True when every shard's processed() matches the epochs noted at the
+  /// last merge — no add ran anywhere, so no shard's live set moved.
+  [[nodiscard]] bool merge_clean() const noexcept {
+    if (!merge_epoch_valid_) return false;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s]->core.processed() != merge_epochs_[s]) return false;
     }
+    return true;
+  }
+
+  void note_merge_epochs() const {
+    merge_epochs_.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      merge_epochs_[s] = shards_[s]->core.processed();
+    }
+    merge_epoch_valid_ = true;
   }
 
   std::size_t q_;
   bool broadcast_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<Value> global_psi_{kEmptyValue<Value>};
-  mutable std::vector<EntryT> merge_;  // query gather buffer (reused)
+  mutable std::vector<EntryT> merge_;        // query gather buffer (reused)
+  mutable std::vector<EntryT> merge_cache_;  // last merged top-q (≤ q items)
+  mutable std::vector<std::uint64_t> merge_epochs_;  // processed() per shard
+  mutable bool merge_epoch_valid_ = false;
+  mutable std::uint64_t merges_skipped_clean_ = 0;
   [[no_unique_address]] mutable Telemetry tm_;
 };
 

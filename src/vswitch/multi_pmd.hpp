@@ -398,6 +398,128 @@ class MultiPmdSwitch {
     return res;
   }
 
+  /// Concurrent measurement pipeline: M consumer threads over N rings,
+  /// all feeding ONE shared reservoir through its any-thread add path
+  /// (ConcurrentQMax). Consumer j drains exactly the rings i with
+  /// i mod M == j, so every ring keeps a single consumer and stays SPSC;
+  /// unlike forward_sharded the consumer count is decoupled from the PMD
+  /// count — 8 PMDs can feed 2 measurement cores, or 2 PMDs feed 4.
+  /// `consume` is called as `consume(ring_index, record)` or, when it
+  /// accepts a span, `consume(ring_index, span)`; with a ConcurrentQMax
+  /// behind it each consumer thread owns a thread-local admission buffer
+  /// and no dispatch-by-key is needed. Fills one
+  /// res.consumer_busy_seconds entry per consumer thread.
+  template <typename Consumer>
+  MultiRunResult forward_concurrent(
+      std::span<const trace::PacketRecord> packets,
+      std::size_t consumer_threads, Consumer&& consume) {
+    const std::size_t n = pmds_.size();
+    const std::size_t m =
+        consumer_threads == 0 ? 1 : (consumer_threads < n ? consumer_threads
+                                                          : n);
+    std::vector<std::vector<trace::PacketRecord>> shards(n);
+    for (auto& s : shards) s.reserve(packets.size() / n + 1);
+    for (const auto& p : packets) shards[rss(p)].push_back(p);
+
+    std::vector<std::unique_ptr<SpscRing<MonitorRecord>>> rings;
+    rings.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rings.push_back(std::make_unique<SpscRing<MonitorRecord>>(
+          cfg_.per_pmd.ring_capacity));
+    }
+    // One MonitorTelemetry per consumer thread (not per ring): the
+    // instruments are single-writer plain fields.
+    while (conc_mon_tm_.size() < m) {
+      conc_mon_tm_.push_back(std::make_unique<MonitorTelemetry>());
+    }
+
+    MultiRunResult res;
+    res.per_pmd.resize(n);
+    res.packets = packets.size();
+    res.consumer_busy_seconds.assign(m, 0.0);
+    res.busy_time_valid = common::thread_cputime_supported();
+    std::vector<std::atomic<bool>> done(n);
+
+    // Per-ring gauges: ring i is drained only by consumer i mod m, so
+    // each entry keeps a single writer.
+    std::vector<std::uint64_t> occ_max(n, 0);
+    std::vector<std::uint64_t> drain_batches(n, 0);
+    std::vector<std::uint64_t> drained(n, 0);
+
+    common::Stopwatch wall;
+    std::vector<std::thread> pmd_threads;
+    pmd_threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pmd_threads.emplace_back([&, i] {
+        pmds_[i]->run_datapath(shards[i], rings[i].get(), res.per_pmd[i]);
+        done[i].store(true, std::memory_order_release);
+      });
+    }
+
+    std::vector<std::thread> consumers;
+    consumers.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      consumers.emplace_back([&, j] {
+        MonitorRecord batch[64];
+        MonitorTelemetry& tm = *conc_mon_tm_[j];
+        common::ThreadCpuStopwatch cpu;
+        double busy = 0.0;
+        for (;;) {
+          bool any = false;
+          bool all_done = true;
+          for (std::size_t i = j; i < n; i += m) {
+            const std::size_t occ = rings[i]->size_approx();
+            cpu.reset();
+            const std::size_t got = rings[i]->pop_batch(batch, 64);
+            if (got > 0) {
+              {
+                [[maybe_unused]] telemetry::Span drain_span(
+                    telemetry::Stage::kRingDrain);
+                if constexpr (std::is_invocable_v<
+                                  Consumer&, std::size_t,
+                                  std::span<const MonitorRecord>>) {
+                  consume(i, std::span<const MonitorRecord>(batch, got));
+                } else {
+                  for (std::size_t k = 0; k < got; ++k) consume(i, batch[k]);
+                }
+              }
+              busy += cpu.seconds();
+              ++drain_batches[i];
+              drained[i] += got;
+              if (occ > occ_max[i]) occ_max[i] = occ;
+              tm.drain_batch.record(got);
+              tm.ring_occupancy.record(occ);
+              tm.records_drained.inc(got);
+              any = true;
+            }
+            if (!done[i].load(std::memory_order_acquire) ||
+                !rings[i]->empty_approx()) {
+              all_done = false;
+            }
+          }
+          if (!any) {
+            tm.empty_polls.inc();
+            if (all_done) break;
+            std::this_thread::yield();
+          }
+        }
+        res.consumer_busy_seconds[j] = busy;  // sole writer; read post-join
+      });
+    }
+
+    for (auto& t : pmd_threads) t.join();
+    const double producer_wall = wall.seconds();
+    for (auto& t : consumers) t.join();
+    res.seconds = producer_wall;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.per_pmd[i].ring_capacity = rings[i]->capacity();
+      res.per_pmd[i].ring_occupancy_max = occ_max[i];
+      res.per_pmd[i].drain_batches = drain_batches[i];
+      res.per_pmd[i].records_drained = drained[i];
+    }
+    return res;
+  }
+
   /// Consumer-side instruments across all rings, accumulated over runs.
   [[nodiscard]] const MonitorTelemetry& monitor_telemetry() const noexcept {
     return mon_tm_;
@@ -415,6 +537,19 @@ class MultiPmdSwitch {
   }
   void reset_shard_monitor_telemetry() noexcept {
     for (auto& tm : shard_mon_tm_) tm->reset();
+  }
+
+  /// Per-consumer instruments from forward_concurrent runs (empty until
+  /// the first such run; entry j is written only by consumer thread j).
+  [[nodiscard]] std::size_t concurrent_monitor_count() const noexcept {
+    return conc_mon_tm_.size();
+  }
+  [[nodiscard]] const MonitorTelemetry& concurrent_monitor_telemetry(
+      std::size_t j) const {
+    return *conc_mon_tm_.at(j);
+  }
+  void reset_concurrent_monitor_telemetry() noexcept {
+    for (auto& tm : conc_mon_tm_) tm->reset();
   }
 
   /// Forward without monitoring (the vanilla baseline).
@@ -443,6 +578,7 @@ class MultiPmdSwitch {
   std::vector<std::unique_ptr<VirtualSwitch>> pmds_;
   [[no_unique_address]] MonitorTelemetry mon_tm_;
   std::vector<std::unique_ptr<MonitorTelemetry>> shard_mon_tm_;
+  std::vector<std::unique_ptr<MonitorTelemetry>> conc_mon_tm_;
 };
 
 }  // namespace qmax::vswitch

@@ -22,6 +22,7 @@
 #include "cache/lrfu_qmax_deamortized.hpp"
 #include "durability/snapshot.hpp"
 #include "qmax/amortized_qmax.hpp"
+#include "qmax/concurrent.hpp"
 #include "qmax/exp_decay.hpp"
 #include "qmax/invariants.hpp"
 #include "qmax/qmax.hpp"
@@ -34,6 +35,7 @@
 namespace {
 
 using qmax::AmortizedQMax;
+using qmax::ConcurrentQMax;
 using qmax::ExpDecayQMax;
 using qmax::QMax;
 using qmax::SampledQMax;
@@ -216,6 +218,37 @@ TEST(SnapshotRoundTrip, ShardedQMax) {
         }
       },
       [](const SH& r) { return fingerprint(r); });
+}
+
+TEST(SnapshotRoundTrip, ConcurrentQMax) {
+  using CQ = ConcurrentQMax<>;
+  // Tiny buffers: the kCut checkpoint lands with both handed-off and
+  // partially-filled buffers in flight; save must drain them (quiesced
+  // snapshot) and the restored replica must continue exactly.
+  expect_restore_equals_fresh(
+      [] { return CQ(64, {.gamma = 0.25}, 48); },
+      [](CQ& r, std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) r.add(i, val_at(i));
+      },
+      [](const CQ& r) { return fingerprint(r); });
+}
+
+TEST(SnapshotRoundTrip, ConcurrentQMaxBufferedItemsSurvive) {
+  // Nothing has been handed off yet — every staged item lives only in
+  // the writer's partial buffer. The quiesced snapshot must carry them.
+  ConcurrentQMax<> src(8, {.gamma = 0.25}, 1u << 20);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    src.add(i, 1e6 + static_cast<double>(i));
+  }
+  ASSERT_EQ(src.handoffs(), 0u);
+  ASSERT_EQ(src.in_flight(), 8u);
+  const std::vector<std::byte> image = durability::snapshot(src);
+  ConcurrentQMax<> restored(8, {.gamma = 0.25}, 1u << 20);
+  durability::restore(restored, image);
+  EXPECT_EQ(restored.processed(), 8u);
+  EXPECT_EQ(restored.in_flight(), 0u);
+  EXPECT_EQ(fingerprint(restored), fingerprint(src));
+  EXPECT_EQ(restored.query().size(), 8u);
 }
 
 TEST(SnapshotRoundTrip, LrfuQMaxCache) {

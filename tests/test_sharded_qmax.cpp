@@ -251,6 +251,53 @@ TEST(ShardedQMax, ResetEqualsFresh) {
 }
 
 // ---------------------------------------------------------------------
+// Merge cache: clean queries replay the cached top q.
+// ---------------------------------------------------------------------
+
+TEST(ShardedQMax, CleanQuerySkipsRemerge) {
+  ShardedQMax<QMax<>> sh(4, 64, {}, true);
+  const auto vals = adversarial_doubles(20'000, 42);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    sh.add(dispatch(i, 4), i, vals[i]);
+  }
+  const auto first = sh.query();
+  EXPECT_EQ(sh.merges_skipped_clean(), 0u);
+  // No shard advanced: the second query must replay the cache, and the
+  // replay must be the identical answer.
+  const auto second = sh.query();
+  EXPECT_EQ(sh.merges_skipped_clean(), 1u);
+  expect_same_values(second, first, "cached replay");
+  const auto third = sh.query();
+  EXPECT_EQ(sh.merges_skipped_clean(), 2u);
+  expect_same_values(third, first, "cached replay again");
+}
+
+TEST(ShardedQMax, DirtyShardInvalidatesMergeCache) {
+  ShardedQMax<QMax<>> sh(4, 32, {}, true);
+  seedref::QMax<> ref(32, 0.25);
+  const auto vals = adversarial_doubles(10'000, 77);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    sh.add(dispatch(i, 4), i, vals[i]);
+    ref.add(i, vals[i]);
+  }
+  (void)sh.query();
+  (void)sh.query();
+  EXPECT_EQ(sh.merges_skipped_clean(), 1u);
+  // ANY add dirties its shard's epoch — even one the screen rejects
+  // outright never reuses a stale cache silently... but a screened add
+  // still bumps processed(), so the re-merge is computed, and computed
+  // correctly.
+  sh.add(0, 999'999, 1e18);
+  ref.add(999'999, 1e18);
+  expect_same_values(sh.query(), ref.query(), "post-dirty re-merge");
+  EXPECT_EQ(sh.merges_skipped_clean(), 1u) << "dirty query must re-merge";
+  (void)sh.query();
+  EXPECT_EQ(sh.merges_skipped_clean(), 2u);
+  sh.reset();
+  EXPECT_EQ(sh.merges_skipped_clean(), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Concurrency: one writer thread per shard, broadcast atomics hot.
 // Run under TSan via the sanitize CI leg (-R ShardedQMax).
 // ---------------------------------------------------------------------
